@@ -1,0 +1,39 @@
+"""A7 — ablation: lightweight compression on read-only base pages."""
+
+from conftest import record_artifact
+
+from repro.bench.ablations import compression_sweep
+from repro.core.report import render_table
+from repro.workload.tpcc import item_schema
+
+
+def test_benchmark_ablation_compression(benchmark):
+    points = benchmark.pedantic(
+        compression_sweep, kwargs={"row_count": 500_000}, rounds=1, iterations=1
+    )
+    names = item_schema().names
+    by_name = dict(zip(names, points))
+    # Codec selection must follow the data's shape: FOR on clustered
+    # ints, dictionary on low-cardinality strings, none on noise.
+    assert by_name["i_id"].outcomes["codec"] == "frame-of-reference"
+    assert by_name["i_name"].outcomes["codec"] == "dictionary"
+    assert by_name["i_price"].outcomes["codec"] == "none"
+    # Compressed numeric scans must be cheaper (smaller stream wins).
+    assert by_name["i_im_id"].outcomes["scan_cost_ratio"] < 1.0
+    rows = [
+        (
+            name,
+            point.outcomes["codec"],
+            f"{point.outcomes['ratio']:.1f}x",
+            f"{point.outcomes['scan_cost_ratio']:.2f}",
+        )
+        for name, point in zip(names, points)
+    ]
+    rendered = (
+        "A7: compression on L-Store base pages (500k item rows)\n"
+        + render_table(
+            rows, ("column", "chosen codec", "size ratio", "scan cost (packed/raw)")
+        )
+    )
+    record_artifact("ablation_compression", rendered)
+    print("\n" + rendered)

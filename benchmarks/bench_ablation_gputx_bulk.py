@@ -1,0 +1,23 @@
+"""A4 — ablation: GPUTx per-transaction cost vs. bulk (K-set) size."""
+
+from conftest import record_artifact
+
+from repro.bench.ablations import gputx_bulk_size_sweep
+from repro.core.report import render_table
+
+
+def test_benchmark_ablation_gputx_bulk(benchmark):
+    points = benchmark.pedantic(gputx_bulk_size_sweep, rounds=1, iterations=1)
+    costs = [point.outcomes["per_tx_us"] for point in points]
+    assert costs == sorted(costs, reverse=True)  # monotone amortization
+    assert costs[0] > 100 * costs[-1]
+    rows = [
+        (f"{point.knob:.0f}", f"{point.outcomes['per_tx_us']:.3f}")
+        for point in points
+    ]
+    rendered = (
+        "A4: GPUTx bulk amortization (READ transactions)\n"
+        + render_table(rows, ("bulk size K", "us per transaction"))
+    )
+    record_artifact("ablation_gputx_bulk", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,27 @@
+"""A2 — ablation: device-with-transfer vs. host, sweeping link bandwidth."""
+
+from conftest import record_artifact
+
+from repro.bench.ablations import pcie_crossover_sweep
+from repro.core.report import render_table
+
+
+def test_benchmark_ablation_pcie(benchmark):
+    points = benchmark.pedantic(pcie_crossover_sweep, rounds=1, iterations=1)
+    assert points[0].outcomes["device_wins"] == 0.0  # paper-era link loses
+    assert points[-1].outcomes["device_wins"] == 1.0  # fast links flip it
+    rows = [
+        (
+            f"{point.knob / 1e9:.0f} GB/s",
+            f"{point.outcomes['host_ms']:.2f}",
+            f"{point.outcomes['device_ms']:.2f}",
+            "device" if point.outcomes["device_wins"] else "host",
+        )
+        for point in points
+    ]
+    rendered = (
+        "A2: PCIe bandwidth crossover (20M-row sum, transfer included)\n"
+        + render_table(rows, ("link bandwidth", "host ms", "device ms", "winner"))
+    )
+    record_artifact("ablation_pcie", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,31 @@
+"""A3 — ablation: NSM vs. DSM vs. PDSM under mixed HTAP workloads."""
+
+from conftest import record_artifact
+
+from repro.bench.ablations import pdsm_mixed_workload_sweep
+from repro.core.report import render_table
+
+
+def test_benchmark_ablation_pdsm(benchmark):
+    points = benchmark.pedantic(pdsm_mixed_workload_sweep, rounds=1, iterations=1)
+    olap_only = points[0]
+    oltp_only = points[-1]
+    # Section II-B's contradiction: each extreme has a different winner.
+    assert olap_only.outcomes["dsm_ms"] < olap_only.outcomes["nsm_ms"]
+    assert oltp_only.outcomes["nsm_ms"] < oltp_only.outcomes["dsm_ms"]
+    rows = [
+        (
+            f"{point.knob:.2f}",
+            f"{point.outcomes['nsm_ms']:.2f}",
+            f"{point.outcomes['dsm_ms']:.2f}",
+            f"{point.outcomes['pdsm_ms']:.2f}",
+            min(("nsm_ms", "dsm_ms", "pdsm_ms"), key=point.outcomes.get)[:-3].upper(),
+        )
+        for point in points
+    ]
+    rendered = (
+        "A3: layout choice across OLTP share (40-op mixed workload, 5M rows)\n"
+        + render_table(rows, ("OLTP share", "NSM ms", "DSM ms", "PDSM ms", "winner"))
+    )
+    record_artifact("ablation_pdsm", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,27 @@
+"""A5 — ablation: Volcano vs. bulk processing model."""
+
+from conftest import record_artifact
+
+from repro.bench.ablations import processing_model_sweep
+from repro.core.report import render_table
+
+
+def test_benchmark_ablation_processing_models(benchmark):
+    points = benchmark.pedantic(processing_model_sweep, rounds=1, iterations=1)
+    for point in points:
+        assert point.outcomes["bulk_ms"] < point.outcomes["volcano_ms"]
+    rows = [
+        (
+            f"{point.knob:.0f}",
+            f"{point.outcomes['volcano_ms']:.3f}",
+            f"{point.outcomes['bulk_ms']:.3f}",
+            f"{point.outcomes['volcano_ms'] / point.outcomes['bulk_ms']:.1f}x",
+        )
+        for point in points
+    ]
+    rendered = (
+        "A5: processing models (full-column sum)\n"
+        + render_table(rows, ("#rows", "Volcano ms", "bulk ms", "bulk speedup"))
+    )
+    record_artifact("ablation_processing_models", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,34 @@
+"""A6 — ablation: snapshot isolation vs. detach-by-copy (challenge b.iii)."""
+
+from conftest import record_artifact
+
+from repro.bench.ablations import snapshot_isolation_sweep
+from repro.core.report import render_table
+
+
+def test_benchmark_ablation_snapshots(benchmark):
+    points = benchmark.pedantic(snapshot_isolation_sweep, rounds=1, iterations=1)
+    # CoW must beat full copy across realistic write rates, and its cost
+    # must grow with the write rate (each touched page faults once).
+    assert all(point.outcomes["cow_wins"] == 1.0 for point in points)
+    cow_costs = [point.outcomes["cow_ms"] for point in points]
+    assert cow_costs == sorted(cow_costs)
+    rows = [
+        (
+            f"{point.knob:.0f}",
+            f"{point.outcomes['full_copy_ms']:.2f}",
+            f"{point.outcomes['cow_ms']:.2f}",
+            f"{point.outcomes['full_copy_ms'] / point.outcomes['cow_ms']:.1f}x",
+        )
+        for point in points
+    ]
+    rendered = (
+        "A6: isolating analytics from a write stream "
+        "(1M-row price column, 5 analytic queries)\n"
+        + render_table(
+            rows,
+            ("updates between queries", "full copy ms", "fork+CoW ms", "CoW advantage"),
+        )
+    )
+    record_artifact("ablation_snapshots", rendered)
+    print("\n" + rendered)

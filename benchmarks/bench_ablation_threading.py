@@ -1,0 +1,28 @@
+"""A1 — ablation: the single/multi crossover vs. per-thread spawn cost."""
+
+from conftest import record_artifact
+
+from repro.bench.ablations import threading_crossover_sweep
+from repro.core.report import render_table
+
+
+def test_benchmark_ablation_threading(benchmark):
+    points = benchmark.pedantic(threading_crossover_sweep, rounds=1, iterations=1)
+    # The sweep must bracket the crossover: multi wins at cheap spawn,
+    # loses once thread management dominates.
+    assert points[0].outcomes["multi_wins"] == 1.0
+    assert points[-1].outcomes["multi_wins"] == 0.0
+    rows = [
+        (
+            f"{point.knob:.0f}",
+            f"{point.outcomes['single_ms']:.3f}",
+            f"{point.outcomes['multi_ms']:.3f}",
+            "multi" if point.outcomes["multi_wins"] else "single",
+        )
+        for point in points
+    ]
+    rendered = "A1: threading crossover (1M-row column sum)\n" + render_table(
+        rows, ("spawn cycles/thread", "single ms", "multi ms", "winner")
+    )
+    record_artifact("ablation_threading", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,29 @@
+"""E1 — Figure 2, panel 1: "materialize 150 customers".
+
+Regenerates the record-centric materialization panel over the paper's
+x-axis (5M-85M customer rows) for all four host series, asserts the
+published shape (findings i and ii), and records the series table.
+"""
+
+from conftest import record_artifact
+
+from repro.bench import (
+    PAPER_PANEL1_ROWS,
+    check_panel1_shapes,
+    panel1_materialize_customers,
+    render_panel,
+)
+
+
+def test_benchmark_fig2_panel1(benchmark):
+    panel = benchmark.pedantic(
+        panel1_materialize_customers,
+        kwargs={"row_counts": PAPER_PANEL1_ROWS},
+        rounds=1,
+        iterations=1,
+    )
+    violations = check_panel1_shapes(panel)
+    assert violations == [], violations
+    rendered = render_panel(panel)
+    record_artifact("fig2_panel1_materialize", rendered)
+    print("\n" + rendered)

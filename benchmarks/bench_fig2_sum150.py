@@ -1,0 +1,24 @@
+"""E2 — Figure 2, panel 2: "sum prices of 150 items" (record-centric)."""
+
+from conftest import record_artifact
+
+from repro.bench import (
+    PAPER_PANEL2_ROWS,
+    check_panel2_shapes,
+    panel2_sum_selected_items,
+    render_panel,
+)
+
+
+def test_benchmark_fig2_panel2(benchmark):
+    panel = benchmark.pedantic(
+        panel2_sum_selected_items,
+        kwargs={"row_counts": PAPER_PANEL2_ROWS},
+        rounds=1,
+        iterations=1,
+    )
+    violations = check_panel2_shapes(panel)
+    assert violations == [], violations
+    rendered = render_panel(panel)
+    record_artifact("fig2_panel2_sum150", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,28 @@
+"""E4 — Figure 2, panel 4: "transfer costs to device excluded".
+
+The price column is device-resident; finding (iv) must hold: the GPU
+beats every host series.
+"""
+
+from conftest import record_artifact
+
+from repro.bench import (
+    PAPER_PANEL34_ROWS,
+    check_panel4_shapes,
+    panel4_sum_all_device_resident,
+    render_panel,
+)
+
+
+def test_benchmark_fig2_panel4(benchmark):
+    panel = benchmark.pedantic(
+        panel4_sum_all_device_resident,
+        kwargs={"row_counts": PAPER_PANEL34_ROWS},
+        rounds=1,
+        iterations=1,
+    )
+    violations = check_panel4_shapes(panel)
+    assert violations == [], violations
+    rendered = render_panel(panel)
+    record_artifact("fig2_panel4_sumall_resident", rendered)
+    print("\n" + rendered)

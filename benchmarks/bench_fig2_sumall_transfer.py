@@ -1,0 +1,28 @@
+"""E3 — Figure 2, panel 3: "sum all prices" with PCIe transfer charged.
+
+The device series stages the price column over the link first; finding
+(iii) (column beats row) and the transfer penalty must both hold.
+"""
+
+from conftest import record_artifact
+
+from repro.bench import (
+    PAPER_PANEL34_ROWS,
+    check_panel3_shapes,
+    panel3_sum_all_transfer_included,
+    render_panel,
+)
+
+
+def test_benchmark_fig2_panel3(benchmark):
+    panel = benchmark.pedantic(
+        panel3_sum_all_transfer_included,
+        kwargs={"row_counts": PAPER_PANEL34_ROWS},
+        rounds=1,
+        iterations=1,
+    )
+    violations = check_panel3_shapes(panel)
+    assert violations == [], violations
+    rendered = render_panel(panel)
+    record_artifact("fig2_panel3_sumall_transfer", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the library's own hot paths (real wall time).
+
+Unlike the figure/table harnesses (which report *simulated* costs and
+run once), these measure the Python implementation itself with
+pytest-benchmark's statistics — the numbers a contributor watches when
+optimizing the kit.
+"""
+
+import numpy as np
+
+from repro.execution import ExecutionContext, sum_column
+from repro.hardware import Platform
+from repro.layout.compression import DictionaryCodec, FrameOfReferenceCodec
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.region import Region
+from repro.workload import generate_items, item_relation, item_schema
+
+ROWS = 100_000
+
+
+def _materialized_column_layout():
+    platform = Platform.paper_testbed()
+    relation = item_relation(ROWS)
+    columns = generate_items(ROWS)
+    fragments = []
+    for name in relation.schema.names:
+        fragment = Fragment(
+            Region(relation.rows, (name,)), relation.schema, None,
+            platform.host_memory,
+        )
+        fragment.append_columns({name: columns[name]})
+        fragments.append(fragment)
+    return platform, Layout("item", relation, fragments)
+
+
+def test_benchmark_sum_column_hot_path(benchmark):
+    platform, layout = _materialized_column_layout()
+
+    def run():
+        return sum_column(layout, "i_price", ExecutionContext(platform))
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_benchmark_point_reads(benchmark):
+    platform, layout = _materialized_column_layout()
+
+    def run():
+        return [layout.read_row(position) for position in range(0, ROWS, ROWS // 100)]
+
+    rows = benchmark(run)
+    assert len(rows) == 100
+
+
+def test_benchmark_dictionary_encode(benchmark):
+    values = (np.arange(ROWS) % 64).astype("<i8")
+    column = benchmark(DictionaryCodec().encode, values)
+    assert column.count == ROWS
+
+
+def test_benchmark_for_decode(benchmark):
+    values = (np.arange(ROWS) % 250 + 10_000).astype("<i8")
+    column = FrameOfReferenceCodec().encode(values)
+    decoded = benchmark(column.decode)
+    assert len(decoded) == ROWS
+
+
+def test_benchmark_classification(benchmark):
+    from repro.core import classify
+    from repro.engines import HyriseEngine
+
+    platform = Platform.paper_testbed()
+    engine = HyriseEngine(platform)
+    engine.create("item", item_schema())
+    engine.load("item", generate_items(5_000))
+    classification = benchmark(classify, engine, "item")
+    assert classification.engine == "HYRISE"

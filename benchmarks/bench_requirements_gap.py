@@ -1,0 +1,41 @@
+"""E8 — Section IV-C: the requirements gap matrix ("not yet").
+
+No surveyed engine satisfies all six reference requirements; the
+reference engine satisfies every one.
+"""
+
+from conftest import record_artifact
+
+from repro.core import (
+    classify,
+    render_requirements_matrix,
+    run_survey,
+    satisfies_all,
+)
+from repro.core.reference_engine import ReferenceEngine
+from repro.execution import ExecutionContext
+from repro.hardware import Platform
+from repro.workload import generate_items, item_schema
+
+
+def _gap_matrix():
+    classifications = [result.derived for result in run_survey(row_count=600)]
+    platform = Platform.paper_testbed()
+    reference = ReferenceEngine(platform, delta_tile_rows=64)
+    reference.create("item", item_schema())
+    reference.load("item", generate_items(600))
+    ctx = ExecutionContext(platform)
+    for i in range(3):
+        reference.insert("item", (600 + i, 1, "AA", "B", 1.0), ctx)
+    classifications.append(classify(reference, "item"))
+    return classifications
+
+
+def test_benchmark_requirements_gap(benchmark):
+    classifications = benchmark.pedantic(_gap_matrix, rounds=1, iterations=1)
+    surveyed, reference = classifications[:-1], classifications[-1]
+    assert not any(satisfies_all(c) for c in surveyed)  # "not yet"
+    assert satisfies_all(reference)
+    rendered = render_requirements_matrix(classifications)
+    record_artifact("requirements_gap", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,22 @@
+"""E5 — Table 1: derive the survey classification from live engines.
+
+Builds all ten representative engine instances, classifies them from
+their mechanisms, and checks every cell against the paper's table.
+"""
+
+from conftest import record_artifact
+
+from repro.core import render_survey_table, run_survey
+
+
+def test_benchmark_table1(benchmark):
+    results = benchmark.pedantic(
+        run_survey, kwargs={"row_count": 1000}, rounds=1, iterations=1
+    )
+    mismatched = [result for result in results if not result.matches]
+    assert mismatched == [], [
+        f"{result.engine}: {result.mismatches}" for result in mismatched
+    ]
+    rendered = render_survey_table(results)
+    record_artifact("table1_survey", rendered)
+    print("\n" + rendered)

@@ -1,0 +1,32 @@
+"""Benchmark harness support: result capture for EXPERIMENTS.md.
+
+Every benchmark computes a *simulated* result (the paper's figure or
+table, regenerated) and registers it here; the session teardown writes
+all rendered artifacts to ``benchmarks/results/`` so the numbers in
+EXPERIMENTS.md are regenerable with one command.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_artifacts: dict[str, str] = {}
+
+
+def record_artifact(name: str, text: str) -> None:
+    """Register one rendered result for the end-of-session dump."""
+    _artifacts[name] = text
+
+
+@pytest.fixture(scope="session", autouse=True)
+def dump_artifacts():
+    yield
+    if not _artifacts:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for name, text in _artifacts.items():
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

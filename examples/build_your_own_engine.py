@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Build your own storage engine and classify it against the taxonomy.
+
+The library is a construction kit: subclass
+:class:`~repro.engines.StorageEngine`, describe your layouts with
+regions/fragments/linearizations, and the classifier derives where your
+design sits in the paper's taxonomy and which of the Section IV-C
+reference requirements it meets.
+
+The demo engine below is a "mirrored PAX" hybrid nobody published:
+horizontal page groups whose hot pages are NSM (for writes) and cold
+pages DSM (for scans), plus a second, device-resident columnar layout
+for the hottest numeric column.
+
+Run:  python examples/build_your_own_engine.py
+"""
+
+import numpy as np
+
+from repro.core import check_requirements, classify
+from repro.engines import (
+    EngineCapabilities,
+    FragmentationChoice,
+    MultiLayoutSupport,
+    StorageEngine,
+    WorkloadSupport,
+    fill_fragment,
+)
+from repro.execution import ExecutionContext
+from repro.hardware import Platform
+from repro.layout import Fragment, Layout, LinearizationKind, Region
+from repro.layout.partitioning import PartitioningOrder
+from repro.model.relation import Relation
+from repro.workload import generate_items, item_schema
+
+
+class MirroredPaxEngine(StorageEngine):
+    """Hot NSM pages + cold DSM pages, with a device column mirror."""
+
+    name = "MirroredPAX"
+    year = 2026
+
+    def __init__(self, platform, page_rows: int = 4096, hot_pages: int = 1) -> None:
+        super().__init__(platform)
+        self.page_rows = page_rows
+        self.hot_pages = hot_pages
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            fragmentation_choice=FragmentationChoice.BOTH,
+            constrained_order=PartitioningOrder.HORIZONTAL_THEN_VERTICAL,
+            fat_formats=frozenset({LinearizationKind.NSM, LinearizationKind.DSM}),
+            per_fragment_choice=True,
+            multi_layout=MultiLayoutSupport.BUILT_IN,
+            workload=WorkloadSupport.HTAP,
+            host_execution=True,
+            device_execution=True,
+        )
+
+    def _build(self, relation: Relation, columns) -> list[Layout]:
+        pages = relation.rows.split(self.page_rows)
+        fragments = []
+        for number, rows in enumerate(pages):
+            hot = number >= len(pages) - self.hot_pages
+            region = Region(rows, relation.schema.names)
+            fragment = Fragment(
+                region,
+                relation.schema,
+                (LinearizationKind.NSM if hot else LinearizationKind.DSM)
+                if region.is_fat
+                else None,
+                self.platform.host_memory,
+                label=f"mpax:{relation.name}:page{number}",
+                materialize=columns is not None,
+            )
+            fill_fragment(fragment, columns)
+            fragments.append(fragment)
+        primary = Layout(f"{relation.name}/pages", relation, fragments)
+        # The device mirror: the hottest numeric column, replicated.
+        price = Fragment(
+            Region(relation.rows, ("i_price",)),
+            relation.schema,
+            None,
+            self.platform.device_memory,
+            label=f"mpax:{relation.name}:i_price@device",
+            materialize=columns is not None,
+        )
+        fill_fragment(price, columns)
+        mirror = Layout(
+            f"{relation.name}/device-mirror",
+            relation,
+            [price, *fragments],
+            allow_overlap=True,
+        )
+        return [primary, mirror]
+
+
+def main() -> None:
+    platform = Platform.paper_testbed()
+    engine = MirroredPaxEngine(platform, page_rows=4096)
+    engine.create("item", item_schema())
+    columns = generate_items(20_000)
+    engine.load("item", columns)
+
+    # It is a real engine: it answers queries.
+    ctx = ExecutionContext(platform)
+    total = engine.sum("item", "i_price", ctx)
+    assert abs(total - float(np.sum(columns["i_price"]))) < 1e-6
+    print(f"sum(i_price) = {total:,.2f} in {ctx.seconds() * 1e3:.3f} simulated ms")
+
+    # And the classifier tells you what you built.
+    classification = classify(engine, "item")
+    print("\nYour engine's Table 1 row:")
+    print("  " + " | ".join(classification.row()))
+
+    verdicts = check_requirements(classification)
+    print("\nSection IV-C requirements:")
+    for number, passed in verdicts.items():
+        print(f"  R{number}: {'satisfied' if passed else 'MISSING'}")
+    missing = [number for number, passed in verdicts.items() if not passed]
+    if missing:
+        print(
+            f"\nStill missing {missing} — this design is static "
+            "(no reorganize hook) and replication-based; wire a workload-"
+            "driven reorganize() and a delegation policy to close the gap."
+        )
+
+
+if __name__ == "__main__":
+    main()

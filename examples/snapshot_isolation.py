@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Detaching analytics from transactions: fork + copy-on-write.
+
+Challenge (b.iii) of the paper: HTAP must run "long-running ad-hoc
+analytic queries and massive short-living write-intensive transactional
+queries ... without interferences".  This example drives a write storm
+against the reference engine while a long-running analytic snapshot
+stays perfectly consistent, then quantifies why copy-on-write beats the
+naive detach-by-copy strategy across write rates.
+
+Run:  python examples/snapshot_isolation.py
+"""
+
+from repro import ExecutionContext, Platform, ReferenceEngine
+from repro.bench.ablations import snapshot_isolation_sweep
+from repro.core.report import render_table
+from repro.workload import generate_items, item_schema
+
+ROWS = 100_000
+
+
+def main() -> None:
+    platform = Platform.paper_testbed()
+    engine = ReferenceEngine(platform, auto_place=False)
+    engine.create("item", item_schema())
+    engine.load("item", generate_items(ROWS))
+
+    ctx = ExecutionContext(platform)
+    baseline = engine.sum("item", "i_price", ctx)
+    print(f"live sum before the storm: {baseline:,.2f}")
+
+    # The analyst forks a snapshot; the fork is a page-table copy.
+    fork_ctx = ExecutionContext(platform)
+    snapshot = engine.analytic_snapshot("item", fork_ctx)
+    print(f"fork cost: {fork_ctx.seconds() * 1e6:.1f} simulated us "
+          f"(no data copied)")
+
+    # 5,000 transactional updates land while the analyst is 'running'.
+    storm_ctx = ExecutionContext(platform)
+    for position in range(0, 5000):
+        engine.update("item", position, "i_price", 0.0, storm_ctx)
+    faults = snapshot.pages_copied
+    print(f"write storm: 5,000 updates, {faults} CoW page faults "
+          f"({faults * 4096 / 1e3:.0f} KB preserved), "
+          f"{storm_ctx.seconds() * 1e3:.2f} simulated ms")
+
+    # The snapshot still answers with pre-storm data; live data moved on.
+    analytic_ctx = ExecutionContext(platform)
+    frozen = snapshot.sum("i_price", analytic_ctx)
+    live = engine.sum("item", "i_price", ExecutionContext(platform))
+    print(f"\nsnapshot sum (consistent as of the fork): {frozen:,.2f}")
+    print(f"live sum (after the storm):               {live:,.2f}")
+    assert abs(frozen - baseline) < 1e-6
+    snapshot.release()
+
+    # Why CoW and not a full copy per analytic query? The A6 sweep:
+    print("\nA6: isolation strategies across write rates "
+          "(1M-row column, 5 analytic queries):")
+    rows = []
+    for point in snapshot_isolation_sweep():
+        rows.append(
+            (
+                f"{point.knob:.0f}",
+                f"{point.outcomes['full_copy_ms']:.2f}",
+                f"{point.outcomes['cow_ms']:.2f}",
+                f"{point.outcomes['full_copy_ms'] / point.outcomes['cow_ms']:.1f}x",
+            )
+        )
+    print(
+        render_table(
+            rows,
+            ("updates between queries", "full copy ms", "fork+CoW ms", "CoW wins by"),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments that lack the ``wheel`` package (``python setup.py develop``
+does not need to build a wheel, unlike PEP-517 editable installs).
+"""
+
+from setuptools import setup
+
+setup()

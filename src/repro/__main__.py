@@ -1,0 +1,85 @@
+"""Command-line entry point: regenerate the paper's artifacts.
+
+``python -m repro``            prints the re-derived Table 1 and the
+                               requirements gap matrix;
+``python -m repro taxonomy``   prints the Figure 4 tree;
+``python -m repro figure2``    runs a reduced Figure 2 sweep (all four
+                               panels, first/last x-points).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _survey() -> int:
+    from repro.core import (
+        classify,
+        render_requirements_matrix,
+        render_survey_table,
+        run_survey,
+    )
+    from repro.core.reference_engine import ReferenceEngine
+    from repro.execution import ExecutionContext
+    from repro.hardware import Platform
+    from repro.workload import generate_items, item_schema
+
+    results = run_survey(row_count=600)
+    print(render_survey_table(results))
+    platform = Platform.paper_testbed()
+    reference = ReferenceEngine(platform, delta_tile_rows=128)
+    reference.create("item", item_schema())
+    reference.load("item", generate_items(600))
+    ctx = ExecutionContext(platform)
+    for i in range(3):
+        reference.insert("item", (600 + i, 1, "AA", "B", 1.0), ctx)
+    classifications = [result.derived for result in results]
+    classifications.append(classify(reference, "item"))
+    print()
+    print(render_requirements_matrix(classifications))
+    return 0 if all(result.matches for result in results) else 1
+
+
+def _taxonomy() -> int:
+    from repro.core import render_taxonomy
+
+    print(render_taxonomy())
+    return 0
+
+
+def _figure2() -> int:
+    from repro.bench import (
+        panel1_materialize_customers,
+        panel2_sum_selected_items,
+        panel3_sum_all_transfer_included,
+        panel4_sum_all_device_resident,
+        render_panel,
+    )
+
+    panels = (
+        panel1_materialize_customers(row_counts=(5_000_000, 85_000_000)),
+        panel2_sum_selected_items(row_counts=(10_000_000, 60_000_000)),
+        panel3_sum_all_transfer_included(row_counts=(5_000_000, 65_000_000)),
+        panel4_sum_all_device_resident(row_counts=(5_000_000, 65_000_000)),
+    )
+    for panel in panels:
+        print(render_panel(panel))
+        print()
+    return 0
+
+
+COMMANDS = {"survey": _survey, "taxonomy": _taxonomy, "figure2": _figure2}
+
+
+def main(argv: list[str]) -> int:
+    """Dispatch one CLI command; returns the process exit code."""
+    command = argv[0] if argv else "survey"
+    handler = COMMANDS.get(command)
+    if handler is None:
+        print(f"unknown command {command!r}; choose from {sorted(COMMANDS)}")
+        return 2
+    return handler()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

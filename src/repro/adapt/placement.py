@@ -1,0 +1,111 @@
+"""Data placement policies: which fragments live in device memory.
+
+Challenge (a.iii): "strict limitations regarding the device memory
+capacity."  Two policies from the survey:
+
+* :class:`AllOrNothingPlacement` — CoGaDB's rule: "either there is
+  enough space for the column in the device memory, or not.  If there
+  is enough space, the column is placed in the device memory.
+  Otherwise a fallback operation is scheduled that leaves the column in
+  host memory."
+* :class:`HotColumnPlacement` — a statistics-driven refinement that
+  ranks columns by access frequency and places the hottest first (the
+  locality-aware approach heterogeneous systems "demand").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adapt.statistics import AttributeStatistics
+from repro.errors import PlacementError
+from repro.execution.context import ExecutionContext
+from repro.execution.device import transfer_fragment
+from repro.hardware.memory import MemoryKind, MemorySpace
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+
+__all__ = ["PlacementDecision", "AllOrNothingPlacement", "HotColumnPlacement"]
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Outcome of one placement attempt."""
+
+    fragment_label: str
+    placed: bool
+    reason: str
+
+
+class AllOrNothingPlacement:
+    """CoGaDB's column placement: whole column to device, or stay home."""
+
+    def __init__(self, device: MemorySpace) -> None:
+        if device.kind is not MemoryKind.DEVICE:
+            raise PlacementError(
+                f"placement target {device.name} is not device memory"
+            )
+        self.device = device
+
+    def try_place(
+        self, layout: Layout, fragment: Fragment, ctx: ExecutionContext
+    ) -> PlacementDecision:
+        """Replicate *fragment* to the device if it fits entirely.
+
+        On success the device replica is added to the layout *ahead of*
+        the host fragment (insertion-order routing then prefers the
+        device copy), preserving the host copy — this is CoGaDB's
+        replication-based scheme.
+        """
+        if fragment not in layout.fragments:
+            raise PlacementError(
+                f"{fragment.label}: not a fragment of layout {layout.name}"
+            )
+        if fragment.space.kind is MemoryKind.DEVICE:
+            return PlacementDecision(fragment.label, False, "already on device")
+        if not self.device.fits(fragment.nbytes):
+            return PlacementDecision(
+                fragment.label,
+                False,
+                f"fallback: {fragment.nbytes} B exceed free device memory "
+                f"({self.device.available} B)",
+            )
+        replica = transfer_fragment(fragment, self.device, ctx)
+        layout.remove_fragment(fragment)
+        layout.replace_fragments([replica, *layout.fragments, fragment])
+        return PlacementDecision(fragment.label, True, "placed on device")
+
+
+class HotColumnPlacement:
+    """Place the most-accessed columns on the device, hottest first."""
+
+    def __init__(self, device: MemorySpace) -> None:
+        self.inner = AllOrNothingPlacement(device)
+
+    def place_hottest(
+        self,
+        layout: Layout,
+        stats: AttributeStatistics,
+        ctx: ExecutionContext,
+        limit: int | None = None,
+    ) -> list[PlacementDecision]:
+        """Attempt placement for columns in descending access frequency.
+
+        Only thin (single-attribute) host fragments are candidates —
+        device kernels in this library consume columns.  Stops after
+        *limit* successful placements (no limit by default).
+        """
+        decisions: list[PlacementDecision] = []
+        placed = 0
+        for attribute in stats.hottest(top=stats.schema.arity):
+            if limit is not None and placed >= limit:
+                break
+            for fragment in list(layout.fragments):
+                if fragment.space.kind is MemoryKind.DEVICE:
+                    continue
+                if fragment.region.attributes != (attribute,):
+                    continue
+                decision = self.inner.try_place(layout, fragment, ctx)
+                decisions.append(decision)
+                placed += decision.placed
+        return decisions

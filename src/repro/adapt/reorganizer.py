@@ -1,0 +1,117 @@
+"""Online layout re-organization: the responsive engines' mutation step.
+
+Given a layout and a :class:`~repro.adapt.advisor.LayoutProposal`,
+:func:`reorganize_layout` builds the proposed fragments, migrates the
+data (or just the geometry, for phantom populations), charges the copy
+cost, frees the old fragments and swaps the new set in.  This is the
+mechanism behind "layout adaptability: responsive" in Table 1 — an
+engine is responsive exactly when it wires this (or its own equivalent)
+to workload statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.adapt.advisor import GroupProposal, LayoutProposal
+from repro.errors import LayoutError
+from repro.execution.context import ExecutionContext
+from repro.hardware.memory import MemorySpace
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import LinearizationKind
+from repro.layout.region import Region
+
+__all__ = ["build_fragments_for_proposal", "reorganize_layout"]
+
+
+def build_fragments_for_proposal(
+    layout: Layout,
+    groups: Sequence[GroupProposal],
+    space: MemorySpace,
+    materialize: bool,
+) -> list[Fragment]:
+    """Construct (empty) fragments realizing *groups* over the layout's relation."""
+    relation = layout.relation
+    fragments: list[Fragment] = []
+    for group in groups:
+        if group.linearization is LinearizationKind.DIRECT and len(group.attributes) > 1:
+            regions = [
+                Region(relation.rows, (attribute,)) for attribute in group.attributes
+            ]
+        else:
+            regions = [Region(relation.rows, group.attributes)]
+        for region in regions:
+            linearization = (
+                None if region.is_thin else group.linearization
+            )
+            fragments.append(
+                Fragment(
+                    region,
+                    relation.schema,
+                    linearization,
+                    space,
+                    label=f"{layout.name}:{'+'.join(region.attributes)}",
+                    materialize=materialize,
+                )
+            )
+    return fragments
+
+
+def reorganize_layout(
+    layout: Layout,
+    proposal: LayoutProposal,
+    space: MemorySpace,
+    ctx: ExecutionContext | None = None,
+) -> None:
+    """Rewrite *layout* in place to match *proposal*.
+
+    Data is migrated row by row through the logical view (so any source
+    fragmentation is handled); the cost charged is one full read plus
+    one full write of the relation's payload, sequentially streamed —
+    the paper's engines all do re-organization as a background bulk
+    copy.
+    """
+    relation = layout.relation
+    phantom = any(fragment.is_phantom for fragment in layout.fragments)
+    new_fragments = build_fragments_for_proposal(
+        layout, proposal.groups, space, materialize=not phantom
+    )
+
+    if phantom:
+        for fragment in new_fragments:
+            fragment.fill_phantom(relation.row_count)
+    else:
+        index_of = {
+            name: position for position, name in enumerate(relation.schema.names)
+        }
+        for row in range(relation.row_count):
+            values = layout.read_row(row)
+            for fragment in new_fragments:
+                fragment.append_rows(
+                    [
+                        tuple(
+                            values[index_of[name]]
+                            for name in fragment.schema.names
+                        )
+                    ]
+                )
+
+    if ctx is not None:
+        payload = relation.nsm_bytes
+        cost = ctx.platform.memory_model.sequential(payload)  # read old
+        cost += ctx.platform.memory_model.sequential(payload)  # write new
+        ctx.charge(f"reorganize({relation.name})", cost)
+        ctx.counters.bytes_written += payload
+
+    old_fragments = list(layout.fragments)
+    layout.replace_fragments(new_fragments)
+    try:
+        layout.validate()
+    except LayoutError:
+        layout.replace_fragments(old_fragments)
+        for fragment in new_fragments:
+            fragment.free()
+        raise
+    for fragment in old_fragments:
+        fragment.free()

@@ -1,0 +1,121 @@
+"""Workload statistics: attribute frequencies and co-access affinity.
+
+The adaptive engines in the survey share one analytical core: observe
+which attributes are touched, and which are touched *together* (ES2:
+"if columns are frequently accessed together, then these columns are
+moved into one new physical sub-relation"; HYRISE re-adapts
+per-sub-partition widths the same way).  :class:`AttributeStatistics`
+distills a workload trace into exactly those signals.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Sequence
+
+import networkx as nx
+
+from repro.errors import WorkloadError
+from repro.execution.access import AccessDescriptor, AccessKind
+from repro.model.schema import Schema
+
+__all__ = ["AttributeStatistics"]
+
+
+@dataclass
+class AttributeStatistics:
+    """Frequency and affinity aggregates over a trace window.
+
+    Build with :meth:`from_events`; all counters weight an event by the
+    number of rows it touched, so one full scan counts as much as many
+    point queries — matching how the physical penalty scales.
+    """
+
+    schema: Schema
+    access_count: Counter = field(default_factory=Counter)
+    write_count: Counter = field(default_factory=Counter)
+    co_access: Counter = field(default_factory=Counter)
+    events: int = 0
+
+    @classmethod
+    def from_events(
+        cls, schema: Schema, events: Sequence[AccessDescriptor]
+    ) -> "AttributeStatistics":
+        """Aggregate *events* (weighting each by its touched-row count)."""
+        stats = cls(schema=schema)
+        for event in events:
+            stats.observe(event)
+        return stats
+
+    def observe(self, event: AccessDescriptor) -> None:
+        """Fold one access event into the aggregates."""
+        weight = max(event.row_count, 1)
+        for attribute in event.attributes:
+            if attribute not in self.schema:
+                raise WorkloadError(
+                    f"event touches unknown attribute {attribute!r}"
+                )
+            self.access_count[attribute] += weight
+            if event.kind is AccessKind.WRITE:
+                self.write_count[attribute] += weight
+        for first, second in combinations(sorted(event.attributes), 2):
+            self.co_access[(first, second)] += weight
+        self.events += 1
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def frequency(self, attribute: str) -> float:
+        """Touched-row-weighted access share of *attribute* in [0, 1]."""
+        total = sum(self.access_count.values())
+        if total == 0:
+            return 0.0
+        return self.access_count[attribute] / total
+
+    def affinity(self, first: str, second: str) -> float:
+        """Normalized co-access strength of two attributes in [0, 1].
+
+        The co-access count divided by the smaller of the two attributes'
+        own counts: 1.0 means the rarer attribute is never touched
+        without the other.
+        """
+        key = (first, second) if first <= second else (second, first)
+        together = self.co_access[key]
+        if together == 0:
+            return 0.0
+        smaller = min(self.access_count[first], self.access_count[second])
+        return together / smaller if smaller else 0.0
+
+    def hottest(self, top: int) -> list[str]:
+        """The *top* most-accessed attributes, most frequent first."""
+        ranked = sorted(
+            self.schema.names,
+            key=lambda name: (-self.access_count[name], name),
+        )
+        return ranked[: max(top, 0)]
+
+    def affinity_groups(self, threshold: float = 0.5) -> list[tuple[str, ...]]:
+        """Partition the schema into co-access clusters.
+
+        Builds the affinity graph (edges with affinity >= *threshold*)
+        and returns its connected components in schema order — the
+        vertical-partitioning proposal ES2's first step makes.
+        Untouched attributes cluster together at the end (the
+        "hide less-frequently accessed columns" effect).
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise WorkloadError(f"threshold must be in (0,1], got {threshold}")
+        graph = nx.Graph()
+        graph.add_nodes_from(self.schema.names)
+        for (first, second), __ in self.co_access.items():
+            if self.affinity(first, second) >= threshold:
+                graph.add_edge(first, second)
+        order = {name: position for position, name in enumerate(self.schema.names)}
+        groups = [
+            tuple(sorted(component, key=order.__getitem__))
+            for component in nx.connected_components(graph)
+        ]
+        groups.sort(key=lambda group: order[group[0]])
+        return groups

@@ -1,0 +1,480 @@
+"""Ablation sweeps for the design choices DESIGN.md calls out.
+
+A1 — threading overhead: where does the single/multi crossover sit as a
+     function of the per-thread spawn cost (the knob behind finding i)?
+A2 — PCIe bandwidth: at what link speed does shipping the column to the
+     GPU start beating the host (the knob behind panels 3 vs 4)?
+A3 — PDSM: how do affinity-grouped hybrid layouts compare against pure
+     NSM and pure DSM under mixed workloads (the Section II-B HYRISE /
+     Peloton discussion: "neither DSM nor NSM is always the best
+     choice", and "PDSM is less efficient than DSM for several cases")?
+A4 — GPUTx bulk size: how fast does per-transaction cost collapse with
+     the bulk (K-set) size (He & Yu's under-utilization argument)?
+A5 — processing model: Volcano's per-tuple call overhead vs. the bulk
+     model's per-vector overhead across input sizes.
+A6 — snapshot isolation: detaching analytics from transactions by
+     fork+copy-on-write vs. by full copy (challenge b.iii), sweeping
+     the write rate between analytic queries.
+A7 — compression: per-column codec selection, compression ratios, and
+     the scan cost effect on L-Store's read-only base pages (DSM's
+     "improved compression rates", Section II-A).
+A8 — the 2026 machine: re-run Figure 2's decisive comparisons on a
+     modern platform (16 cores, DDR5, HBM device, NVLink-class link,
+     pooled threads) and see which of the paper's findings are
+     architectural and which were artifacts of 2016 ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.engines.gputx import GpuTxEngine, Transaction, TxKind
+from repro.execution.bulk import bulk_sum
+from repro.execution.context import ExecutionContext
+from repro.execution.device import device_sum_column
+from repro.execution.operators import materialize_rows, sum_column
+from repro.execution.threading import MULTI_THREADED_8, SINGLE_THREADED
+from repro.execution.volcano import VolcanoScan, VolcanoSum, run_volcano
+from repro.hardware.interconnect import InterconnectModel
+from repro.hardware.platform import Platform
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import LinearizationKind
+from repro.layout.region import Region
+from repro.model.relation import Relation
+from repro.workload.queries import random_positions
+from repro.workload.tpcc import generate_items, item_relation, item_schema
+
+from repro.bench.figure2 import (
+    build_column_store,
+    build_device_column_store,
+    build_row_store,
+)
+
+__all__ = [
+    "threading_crossover_sweep",
+    "pcie_crossover_sweep",
+    "pdsm_mixed_workload_sweep",
+    "gputx_bulk_size_sweep",
+    "processing_model_sweep",
+    "snapshot_isolation_sweep",
+    "compression_sweep",
+    "machine_era_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One ablation measurement: the swept knob and the outcomes."""
+
+    knob: float
+    outcomes: dict[str, float]
+
+
+def threading_crossover_sweep(
+    spawn_cycles_values: tuple[float, ...] = (10_000.0, 50_000.0, 100_000.0, 400_000.0),
+    row_count: int = 1_000_000,
+) -> list[SweepPoint]:
+    """A1: single vs. 8-thread full-column sum under varying spawn cost."""
+    points = []
+    for spawn in spawn_cycles_values:
+        platform = Platform.paper_testbed()
+        platform = dataclasses.replace(
+            platform, cpu=dataclasses.replace(platform.cpu, thread_spawn_cycles=spawn)
+        )
+        relation = item_relation(row_count)
+        store = build_column_store(platform, relation)
+        single = ExecutionContext(platform, threading=SINGLE_THREADED)
+        multi = ExecutionContext(platform, threading=MULTI_THREADED_8)
+        sum_column(store, "i_price", single)
+        sum_column(store, "i_price", multi)
+        points.append(
+            SweepPoint(
+                knob=spawn,
+                outcomes={
+                    "single_ms": platform.seconds(single.cycles) * 1e3,
+                    "multi_ms": platform.seconds(multi.cycles) * 1e3,
+                    "multi_wins": float(multi.cycles < single.cycles),
+                },
+            )
+        )
+    return points
+
+
+def pcie_crossover_sweep(
+    bandwidths: tuple[float, ...] = (2e9, 6e9, 16e9, 32e9, 64e9),
+    row_count: int = 20_000_000,
+) -> list[SweepPoint]:
+    """A2: device sum WITH transfer vs. best host sum, sweeping link speed."""
+    points = []
+    for bandwidth in bandwidths:
+        platform = Platform.paper_testbed()
+        platform = dataclasses.replace(
+            platform,
+            interconnect=InterconnectModel(
+                bandwidth=bandwidth,
+                latency_s=platform.interconnect.latency_s,
+                host_frequency_hz=platform.cpu.frequency_hz,
+            ),
+        )
+        relation = item_relation(row_count)
+        store = build_column_store(platform, relation)
+        host = ExecutionContext(platform, threading=MULTI_THREADED_8)
+        device = ExecutionContext(platform)
+        sum_column(store, "i_price", host)
+        device_sum_column(store, "i_price", device, charge_transfer=True)
+        points.append(
+            SweepPoint(
+                knob=bandwidth,
+                outcomes={
+                    "host_ms": platform.seconds(host.cycles) * 1e3,
+                    "device_ms": platform.seconds(device.cycles) * 1e3,
+                    "device_wins": float(device.cycles < host.cycles),
+                },
+            )
+        )
+    return points
+
+
+def _pdsm_store(platform: Platform, relation: Relation,
+                hot: tuple[str, ...]) -> Layout:
+    """An affinity-grouped hybrid: hot columns thin, the rest one NSM group."""
+    fragments = []
+    grouped = tuple(n for n in relation.schema.names if n not in hot)
+    region = Region(relation.rows, grouped)
+    group = Fragment(
+        region, relation.schema,
+        LinearizationKind.NSM if region.is_fat else None,
+        platform.host_memory, materialize=False,
+    )
+    group.fill_phantom(relation.row_count)
+    fragments.append(group)
+    for name in hot:
+        column = Fragment(
+            Region(relation.rows, (name,)), relation.schema, None,
+            platform.host_memory, materialize=False,
+        )
+        column.fill_phantom(relation.row_count)
+        fragments.append(column)
+    return Layout("pdsm", relation, fragments)
+
+
+def pdsm_mixed_workload_sweep(
+    oltp_shares: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    row_count: int = 5_000_000,
+    operations: int = 40,
+) -> list[SweepPoint]:
+    """A3: NSM vs. DSM vs. PDSM across the OLTP share of a mixed workload.
+
+    Each workload is *operations* queries: an ``oltp_share`` fraction of
+    150-record materializations (record-centric) and the rest full
+    price-column sums (attribute-centric).  Reported per layout in
+    simulated milliseconds for the whole workload.
+    """
+    points = []
+    for share in oltp_shares:
+        oltp_ops = round(operations * share)
+        olap_ops = operations - oltp_ops
+        outcomes: dict[str, float] = {}
+        for label, builder in (
+            ("nsm_ms", build_row_store),
+            ("dsm_ms", build_column_store),
+            (
+                "pdsm_ms",
+                lambda platform, relation: _pdsm_store(
+                    platform, relation, hot=("i_price",)
+                ),
+            ),
+        ):
+            platform = Platform.paper_testbed()
+            relation = item_relation(row_count)
+            store = builder(platform, relation)
+            ctx = ExecutionContext(platform)
+            positions = random_positions(row_count, 150)
+            for __ in range(oltp_ops):
+                materialize_rows(store, positions, ctx)
+            for __ in range(olap_ops):
+                sum_column(store, "i_price", ctx)
+            outcomes[label] = platform.seconds(ctx.cycles) * 1e3
+        points.append(SweepPoint(knob=share, outcomes=outcomes))
+    return points
+
+
+def gputx_bulk_size_sweep(
+    bulk_sizes: tuple[int, ...] = (1, 8, 64, 512, 4096),
+    row_count: int = 100_000,
+) -> list[SweepPoint]:
+    """A4: per-transaction cost vs. the K-set bulk size."""
+    platform = Platform.paper_testbed()
+    engine = GpuTxEngine(platform)
+    engine.create("item", item_schema())
+    engine.load("item", generate_items(row_count))
+    points = []
+    for size in bulk_sizes:
+        ctx = ExecutionContext(platform)
+        batch = [
+            Transaction(TxKind.READ, position % row_count, "i_price")
+            for position in range(size)
+        ]
+        engine.execute_bulk("item", batch, ctx)
+        per_tx_us = platform.seconds(ctx.cycles) / size * 1e6
+        points.append(
+            SweepPoint(knob=float(size), outcomes={"per_tx_us": per_tx_us})
+        )
+    return points
+
+
+def processing_model_sweep(
+    row_counts: tuple[int, ...] = (1_000, 10_000, 100_000),
+) -> list[SweepPoint]:
+    """A5: Volcano (tuple-at-a-time) vs. bulk (vector-at-a-time) sums."""
+    points = []
+    for rows in row_counts:
+        platform = Platform.paper_testbed()
+        relation = item_relation(rows)
+        columns = generate_items(rows)
+        fragments = []
+        for region in (
+            Region(relation.rows, (name,)) for name in relation.schema.names
+        ):
+            fragment = Fragment(region, relation.schema, None, platform.host_memory)
+            fragment.append_columns({region.attributes[0]: columns[region.attributes[0]]})
+            fragments.append(fragment)
+        layout = Layout("t", relation, fragments)
+        volcano_ctx = ExecutionContext(platform)
+        bulk_ctx = ExecutionContext(platform)
+        run_volcano(VolcanoSum(VolcanoScan(layout, ["i_price"])), volcano_ctx)
+        bulk_sum(layout, "i_price", bulk_ctx)
+        points.append(
+            SweepPoint(
+                knob=float(rows),
+                outcomes={
+                    "volcano_ms": platform.seconds(volcano_ctx.cycles) * 1e3,
+                    "bulk_ms": platform.seconds(bulk_ctx.cycles) * 1e3,
+                },
+            )
+        )
+    return points
+
+
+def snapshot_isolation_sweep(
+    updates_between_queries: tuple[int, ...] = (0, 100, 1_000, 10_000),
+    row_count: int = 1_000_000,
+    analytic_queries: int = 5,
+) -> list[SweepPoint]:
+    """A6: CoW snapshots vs. detach-by-full-copy under a write stream.
+
+    Each strategy serves *analytic_queries* consistent price-column sums
+    while *updates_between_queries* point updates land between
+    consecutive queries.  Full copy pays 2x the payload per query; CoW
+    pays one fork plus one page copy per touched page.  Reported in
+    simulated milliseconds for the whole episode.
+    """
+    import numpy as np
+
+    from repro.layout.region import Region
+    from repro.mvcc import SnapshotManager
+
+    points = []
+    for updates in updates_between_queries:
+        rng = np.random.default_rng(updates + 1)
+        positions = rng.integers(0, row_count, size=max(updates, 1) * analytic_queries)
+
+        # Strategy 1: detach by full copy per analytic query.
+        platform = Platform.paper_testbed()
+        relation = item_relation(row_count)
+        store = build_column_store(platform, relation)
+        copy_ctx = ExecutionContext(platform)
+        payload = sum(f.nbytes for f in store.fragments)
+        for __ in range(analytic_queries):
+            copy_ctx.charge("full-copy", platform.memory_model.sequential(2 * payload))
+            sum_column(store, "i_price", copy_ctx)
+        copy_ms = platform.seconds(copy_ctx.cycles) * 1e3
+
+        # Strategy 2: one CoW snapshot per analytic query.
+        platform = Platform.paper_testbed()
+        relation = Relation("item", item_relation(row_count).schema, row_count)
+        price = Fragment(
+            Region(relation.rows, ("i_price",)), relation.schema, None,
+            platform.host_memory,
+        )
+        price.append_columns(
+            {"i_price": rng.uniform(1.0, 100.0, size=row_count)}
+        )
+        layout = Layout("item/price", relation, [price], validate=False)
+        manager = SnapshotManager(layout)
+        cow_ctx = ExecutionContext(platform)
+        cursor = 0
+        for __ in range(analytic_queries):
+            snapshot = manager.fork(cow_ctx)
+            for __ in range(updates):
+                position = int(positions[cursor])
+                cursor += 1
+                manager.before_update(position, "i_price", cow_ctx)
+                price.update_field(position, "i_price", 0.0)
+            snapshot.sum("i_price", cow_ctx)
+            snapshot.release()
+        cow_ms = platform.seconds(cow_ctx.cycles) * 1e3
+
+        points.append(
+            SweepPoint(
+                knob=float(updates),
+                outcomes={
+                    "full_copy_ms": copy_ms,
+                    "cow_ms": cow_ms,
+                    "cow_wins": float(cow_ms < copy_ms),
+                },
+            )
+        )
+    return points
+
+
+def compression_sweep(row_count: int = 500_000) -> list[SweepPoint]:
+    """A7: codec choice + ratio + scan effect per item-table column.
+
+    Loads the item table into two L-Store instances (raw and
+    compressed base pages) and reports, per column: the winning codec,
+    the compression ratio, and the full-column-scan cost ratio
+    (compressed/raw — below 1.0 means the smaller stream won despite
+    decode compute).
+    """
+    import numpy as np
+
+    from repro.engines.lstore import LStoreEngine
+    from repro.workload.tpcc import generate_items, item_schema
+
+    # Deterministic, realistically-skewed columns: sequential ids,
+    # low-cardinality warehouse ids, few distinct names, noisy prices.
+    rng = np.random.default_rng(7)
+    columns = {
+        "i_id": np.arange(row_count, dtype="<i8"),
+        "i_im_id": rng.integers(0, 100, row_count, dtype="<i4"),
+        "i_name": rng.choice(
+            np.array([b"WIDGET", b"GADGET", b"DOODAD"], dtype="S6"), row_count
+        ),
+        "i_data": rng.choice(np.array([b"AA", b"BB"], dtype="S2"), row_count),
+        "i_price": rng.uniform(1.0, 100.0, row_count),
+    }
+
+    engines = {}
+    for compress in (False, True):
+        platform = Platform.paper_testbed()
+        engine = LStoreEngine(platform, compress_base=compress)
+        engine.create("item", item_schema())
+        engine.load("item", columns)
+        engines[compress] = (engine, platform)
+
+    points = []
+    for index, attribute in enumerate(item_schema().names):
+        raw_engine, raw_platform = engines[False]
+        packed_engine, packed_platform = engines[True]
+        packed_fragment = packed_engine.layouts("item")[0].fragments_for_attribute(
+            attribute
+        )[0]
+        codec = (
+            packed_fragment.compression.codec.name
+            if packed_fragment.is_compressed
+            else "none"
+        )
+        ratio = (
+            packed_fragment.compression.ratio
+            if packed_fragment.is_compressed
+            else 1.0
+        )
+        raw_ctx = ExecutionContext(raw_platform)
+        packed_ctx = ExecutionContext(packed_platform)
+        numeric = attribute in ("i_id", "i_im_id", "i_price")
+        for engine, ctx in ((raw_engine, raw_ctx), (packed_engine, packed_ctx)):
+            if numeric:
+                engine.sum("item", attribute, ctx)
+            else:
+                engine.materialize("item", [0], ctx)
+        points.append(
+            SweepPoint(
+                knob=float(index),
+                outcomes={
+                    "ratio": ratio,
+                    "scan_cost_ratio": (
+                        packed_ctx.cycles / raw_ctx.cycles if raw_ctx.cycles else 1.0
+                    ),
+                    "codec": codec,  # type: ignore[dict-item]
+                },
+            )
+        )
+    return points
+
+
+def machine_era_sweep(row_count: int = 20_000_000) -> list[SweepPoint]:
+    """A8: the paper's four findings, on the 2017 vs. a 2026 machine.
+
+    Reports, per era, the decisive ratios: single/multi on a
+    150-record materialization (finding i), row/column on the same
+    (finding ii, inverted so >1 means NSM wins), row/column on a full
+    scan (finding iii), host/device on a resident full scan (finding
+    iv), and host/device *with transfer charged* — the one comparison
+    whose winner flips across eras.
+    """
+    from repro.execution.threading import ThreadingPolicy
+    from repro.workload.tpcc import customer_relation
+
+    points = []
+    for era, make_platform in (
+        (2017.0, Platform.paper_testbed),
+        (2026.0, Platform.modern_testbed),
+    ):
+        multi = ThreadingPolicy("multi", make_platform().cpu.hardware_threads)
+        outcomes: dict[str, float] = {}
+
+        # Findings (i)/(ii): 150-record materialization.
+        platform = make_platform()
+        customers = customer_relation(row_count)
+        row_store = build_row_store(platform, customers)
+        column_store = build_column_store(platform, customers)
+        positions = random_positions(row_count, 150)
+        costs = {}
+        for label, store, threading in (
+            ("row_single", row_store, SINGLE_THREADED),
+            ("row_multi", row_store, multi),
+            ("col_single", column_store, SINGLE_THREADED),
+        ):
+            ctx = ExecutionContext(platform, threading=threading)
+            materialize_rows(store, positions, ctx)
+            costs[label] = ctx.cycles
+        outcomes["multi_over_single_150"] = costs["row_multi"] / costs["row_single"]
+        outcomes["dsm_over_nsm_materialize"] = costs["col_single"] / costs["row_single"]
+
+        # Findings (iii)/(iv) + the transfer story: full price scans.
+        platform = make_platform()
+        items = item_relation(row_count)
+        row_store = build_row_store(platform, items)
+        column_store = build_column_store(platform, items)
+        device_store = build_device_column_store(platform, items, ("i_price",))
+        scan_costs = {}
+        for label, runner in (
+            ("row", lambda ctx: sum_column(row_store, "i_price", ctx)),
+            ("col", lambda ctx: sum_column(column_store, "i_price", ctx)),
+            (
+                "device_resident",
+                lambda ctx: device_sum_column(device_store, "i_price", ctx),
+            ),
+            (
+                "device_transfer",
+                lambda ctx: device_sum_column(
+                    column_store, "i_price", ctx, charge_transfer=True
+                ),
+            ),
+        ):
+            threading = multi if label in ("row", "col") else SINGLE_THREADED
+            ctx = ExecutionContext(platform, threading=threading)
+            runner(ctx)
+            scan_costs[label] = ctx.cycles
+        outcomes["nsm_over_dsm_scan"] = scan_costs["row"] / scan_costs["col"]
+        outcomes["host_over_device_resident"] = (
+            scan_costs["col"] / scan_costs["device_resident"]
+        )
+        outcomes["device_transfer_over_host"] = (
+            scan_costs["device_transfer"] / scan_costs["col"]
+        )
+        points.append(SweepPoint(knob=era, outcomes=outcomes))
+    return points

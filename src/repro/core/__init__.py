@@ -1,0 +1,72 @@
+"""The paper's contribution: taxonomy, classification, survey, reference design."""
+
+from repro.core.classification import (
+    Classification,
+    check_capability_consistency,
+    classify,
+)
+from repro.core.optimizer import ContinuousOptimizer
+from repro.core.reference_engine import ReferenceEngine, RegionDelegation
+from repro.core.report import (
+    render_requirements_matrix,
+    render_survey_table,
+    render_table,
+    render_taxonomy,
+)
+from repro.core.requirements import (
+    REFERENCE_REQUIREMENTS,
+    Requirement,
+    check_requirements,
+    satisfies_all,
+)
+from repro.core.survey import (
+    PAPER_TABLE_1,
+    ExpectedRow,
+    SurveyResult,
+    build_reference_instances,
+    run_survey,
+)
+from repro.core.taxonomy import (
+    TAXONOMY_TREE,
+    FragmentScheme,
+    LayoutAdaptability,
+    LayoutFlexibility,
+    LayoutHandling,
+    LinearizationProperty,
+    LocationLocality,
+    LocationTarget,
+    ProcessorSupport,
+    TaxonomyNode,
+)
+
+__all__ = [
+    "LayoutHandling",
+    "LayoutFlexibility",
+    "LayoutAdaptability",
+    "LocationTarget",
+    "LocationLocality",
+    "FragmentScheme",
+    "ProcessorSupport",
+    "LinearizationProperty",
+    "TaxonomyNode",
+    "TAXONOMY_TREE",
+    "Classification",
+    "classify",
+    "check_capability_consistency",
+    "ExpectedRow",
+    "PAPER_TABLE_1",
+    "SurveyResult",
+    "build_reference_instances",
+    "run_survey",
+    "Requirement",
+    "REFERENCE_REQUIREMENTS",
+    "check_requirements",
+    "satisfies_all",
+    "ReferenceEngine",
+    "ContinuousOptimizer",
+    "RegionDelegation",
+    "render_table",
+    "render_survey_table",
+    "render_taxonomy",
+    "render_requirements_matrix",
+]

@@ -1,0 +1,73 @@
+"""Figure 1's loop: continuous re-organization and re-assignment.
+
+The paper's opening figure shows HTAP systems cycling between
+"physical record layout re-organization" and "compute device
+re-assignment" as the workload mixes analytical and transactional
+queries.  :class:`ContinuousOptimizer` runs that loop for any
+responsive engine: it watches the relation's workload trace and invokes
+the engine's :meth:`reorganize` every *period* queries — re-cutting
+layouts AND re-deriving device placements in one step (both live inside
+the engines' reorganize hooks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.base import StorageEngine
+from repro.errors import EngineError
+from repro.execution.context import ExecutionContext
+
+__all__ = ["ContinuousOptimizer"]
+
+
+@dataclass
+class ContinuousOptimizer:
+    """Periodic background optimization for one engine relation.
+
+    Attributes
+    ----------
+    engine:
+        A responsive engine (static engines are rejected — they have
+        nothing to run the loop with).
+    relation:
+        The relation to watch.
+    period:
+        Queries between optimization attempts.
+    """
+
+    engine: StorageEngine
+    relation: str
+    period: int = 100
+    reorganizations: int = 0
+    _last_seen: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise EngineError("optimizer period must be >= 1")
+        if not self.engine.is_responsive:
+            raise EngineError(
+                f"{self.engine.name} is static; the Figure 1 loop needs a "
+                "responsive engine"
+            )
+        self._last_seen = self.engine.managed(self.relation).trace.total_recorded
+
+    @property
+    def queries_since_last_run(self) -> int:
+        """Trace growth since the optimizer last fired."""
+        trace = self.engine.managed(self.relation).trace
+        return trace.total_recorded - self._last_seen
+
+    def tick(self, ctx: ExecutionContext) -> bool:
+        """Run one loop iteration if the period has elapsed.
+
+        Returns True when a re-organization actually changed the
+        physical design.  Call after every query (cheap when idle).
+        """
+        if self.queries_since_last_run < self.period:
+            return False
+        self._last_seen = self.engine.managed(self.relation).trace.total_recorded
+        changed = self.engine.reorganize(self.relation, ctx)
+        if changed:
+            self.reorganizations += 1
+        return changed

@@ -1,0 +1,426 @@
+"""The paper's reference storage-engine design, implemented.
+
+Section IV-C closes the gap analysis with a design sketch; this module
+realizes it as a working engine that satisfies all six requirements at
+once (the survey shows no existing engine does):
+
+1. **Constrained strong flexible layouts** — a horizontal delta/main
+   cut first, then vertical decomposition of the main region into
+   columns (delta tiles stay NSM for writes).
+2. **Responsive** — :meth:`reorganize` merges the delta into the main
+   columns and re-derives device placements from workload statistics.
+3. **Mixed location, distributed locality** — hot main columns are
+   replicated to device memory (all-or-nothing per column), the rest
+   stay on the host.
+4. **Linearization covering NSM and DSM** — fat NSM delta tiles plus
+   DSM(-emulated) main columns, with both formats available per
+   fragment.
+5. **Built-in multi layout** — the unified host layout and the
+   device-accelerated layout are both complete views of the relation.
+6. **Delegation** — a region policy assigns every row exclusively to
+   the delta or the main (no redundancy between them); only the
+   device placement is replicated, and writes keep replicas coherent.
+
+Beyond the six requirements, the engine integrates the
+:mod:`repro.mvcc` snapshot mechanism for challenge (b.iii): updates
+pass through a copy-on-write hook, and :meth:`ReferenceEngine.analytic_snapshot`
+hands analytics a consistent view that the OLTP stream cannot disturb.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.adapt.statistics import AttributeStatistics
+from repro.engines.base import (
+    DelegationPolicy,
+    EngineCapabilities,
+    FragmentationChoice,
+    MultiLayoutSupport,
+    StorageEngine,
+    WorkloadSupport,
+    fill_fragment,
+)
+from repro.errors import EngineError
+from repro.execution.access import AccessKind
+from repro.execution.context import ExecutionContext
+from repro.execution.device import device_sum_column, is_device_resident
+from repro.execution.operators import sum_column
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import LinearizationKind
+from repro.layout.partitioning import PartitioningOrder
+from repro.layout.region import Region
+from repro.model.relation import Relation, RowRange
+from repro.mvcc.snapshot import Snapshot, SnapshotManager
+
+__all__ = ["RegionDelegation", "ReferenceEngine"]
+
+DEFAULT_DELTA_TILE_ROWS = 1024
+
+
+class RegionDelegation(DelegationPolicy):
+    """Row-range delegation: every row is owned by delta or main."""
+
+    def __init__(self, main_rows: int) -> None:
+        self.main_rows = main_rows
+
+    def owner_of(self, position: int, attribute: str) -> str:
+        return "main" if position < self.main_rows else "delta"
+
+    def describe(self) -> str:
+        return f"delta/main split at row {self.main_rows}"
+
+
+class ReferenceEngine(StorageEngine):
+    """The ideal HTAP CPU/GPU storage engine of Section IV-C."""
+
+    name = "Reference"
+    year = 2017
+
+    def __init__(
+        self,
+        platform,
+        delta_tile_rows: int = DEFAULT_DELTA_TILE_ROWS,
+        auto_place: bool = True,
+        constrained: bool = True,
+    ) -> None:
+        super().__init__(platform)
+        if delta_tile_rows < 1:
+            raise EngineError(f"{self.name}: delta_tile_rows must be >= 1")
+        self.delta_tile_rows = delta_tile_rows
+        self.auto_place = auto_place
+        #: The paper asks for "at least constrained" strong flexibility;
+        #: the unconstrained variant drops the fixed cut order (clients
+        #: may then define arbitrary fragment grids via the layout API).
+        self.constrained = constrained
+        self._delegations: dict[str, RegionDelegation] = {}
+        self._snapshot_managers: dict[str, SnapshotManager] = {}
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            fragmentation_choice=FragmentationChoice.BOTH,
+            constrained_order=(
+                PartitioningOrder.HORIZONTAL_THEN_VERTICAL
+                if self.constrained
+                else None
+            ),
+            fat_formats=frozenset({LinearizationKind.NSM, LinearizationKind.DSM}),
+            per_fragment_choice=True,
+            multi_layout=MultiLayoutSupport.BUILT_IN,
+            workload=WorkloadSupport.HTAP,
+            host_execution=True,
+            device_execution=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _main_column(
+        self,
+        relation: Relation,
+        attribute: str,
+        rows: RowRange,
+        columns: dict[str, np.ndarray] | None,
+    ) -> Fragment:
+        fragment = Fragment(
+            Region(rows, (attribute,)),
+            relation.schema,
+            None,
+            self.platform.host_memory,
+            label=f"ref:{relation.name}:main:{attribute}",
+            materialize=columns is not None,
+        )
+        fill_fragment(fragment, columns)
+        return fragment
+
+    def _build(
+        self, relation: Relation, columns: dict[str, np.ndarray] | None
+    ) -> list[Layout]:
+        main_columns = [
+            self._main_column(relation, attribute, relation.rows, columns)
+            for attribute in relation.schema.names
+        ]
+        self._delegations[relation.name] = RegionDelegation(relation.row_count)
+        unified = Layout(f"{relation.name}/unified", relation, main_columns)
+        self._snapshot_managers[relation.name] = SnapshotManager(unified)
+        accelerated = Layout(
+            f"{relation.name}/accelerated",
+            relation,
+            list(main_columns),
+            allow_overlap=True,
+        )
+        return [unified, accelerated]
+
+    def _after_load(self, managed) -> None:
+        super()._after_load(managed)
+        if self.auto_place and managed.relation.row_count:
+            self._place_hottest(managed.relation.name)
+
+    def delegation_policy(self, name: str) -> RegionDelegation:
+        return self._delegations[name]
+
+    def _drop_extras(self, managed) -> None:
+        name = managed.relation.name
+        self._delegations.pop(name, None)
+        self._snapshot_managers.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Snapshot isolation (challenge b.iii)
+    # ------------------------------------------------------------------
+    def analytic_snapshot(self, name: str, ctx: ExecutionContext) -> Snapshot:
+        """Fork a consistent read view for a long-running analytic query.
+
+        The snapshot survives any number of concurrent updates (they
+        pay copy-on-write faults for the pages they touch); release it
+        when the query finishes to stop the faulting.
+        """
+        return self._snapshot_managers[name].fork(ctx)
+
+    def update(self, name, position, attribute, value, ctx):
+        self._snapshot_managers[name].before_update(position, attribute, ctx)
+        super().update(name, position, attribute, value, ctx)
+
+    # ------------------------------------------------------------------
+    # Device placement (requirement 3)
+    # ------------------------------------------------------------------
+    def _numeric_attributes(self, relation: Relation) -> list[str]:
+        return [
+            attribute.name
+            for attribute in relation.schema
+            if attribute.dtype.numpy_dtype().kind in ("i", "f")
+        ]
+
+    def placed_columns(self, name: str) -> list[str]:
+        """Attributes currently replicated in device memory."""
+        accelerated = self.managed(name).layouts[1]
+        return [
+            fragment.region.attributes[0]
+            for fragment in accelerated.fragments
+            if is_device_resident(fragment) and fragment.region.is_column
+        ]
+
+    def _place_hottest(self, name: str, limit: int | None = None) -> list[str]:
+        """Replicate the hottest numeric main columns to the device.
+
+        Ranking comes from the workload trace when it has events, and
+        falls back to schema order otherwise.  All-or-nothing per
+        column; returns the attributes newly placed.
+        """
+        managed = self.managed(name)
+        relation = managed.relation
+        unified, accelerated = managed.layouts
+        stats = AttributeStatistics.from_events(
+            relation.schema, managed.trace.window()
+        )
+        candidates = self._numeric_attributes(relation)
+        if managed.trace.window():
+            ranked = [
+                attribute
+                for attribute in stats.hottest(relation.schema.arity)
+                if attribute in candidates
+            ]
+        else:
+            ranked = candidates
+        placed: list[str] = []
+        already = set(self.placed_columns(name))
+        device = self.platform.device_memory
+        for attribute in ranked:
+            if limit is not None and len(placed) >= limit:
+                break
+            if attribute in already:
+                continue
+            host_fragment = None
+            for fragment in unified.fragments:
+                if (
+                    fragment.region.attributes == (attribute,)
+                    and not is_device_resident(fragment)
+                ):
+                    host_fragment = fragment
+                    break
+            if host_fragment is None or not device.fits(host_fragment.nbytes):
+                continue
+            replica = host_fragment.copy_to(
+                device, f"ref:{name}:main:{attribute}@device"
+            )
+            accelerated.replace_fragments(
+                [replica, *accelerated.fragments]
+            )
+            placed.append(attribute)
+        return placed
+
+    def _unplace_all(self, name: str) -> None:
+        """Drop every device replica (before a merge invalidates them)."""
+        accelerated = self.managed(name).layouts[1]
+        keep = []
+        for fragment in accelerated.fragments:
+            if is_device_resident(fragment):
+                fragment.free()
+            else:
+                keep.append(fragment)
+        accelerated.replace_fragments(keep)
+
+    # ------------------------------------------------------------------
+    # Writes: OLTP goes to the NSM delta
+    # ------------------------------------------------------------------
+    def insert(self, name: str, row: Sequence[Any], ctx: ExecutionContext) -> int:
+        managed = self.managed(name)
+        relation = managed.relation
+        schema = relation.schema
+        if len(row) != schema.arity:
+            raise EngineError(
+                f"{self.name}: row has {len(row)} values, schema needs {schema.arity}"
+            )
+        unified, accelerated = managed.layouts
+        position = relation.row_count
+        tile = None
+        for fragment in unified.fragments:
+            if (
+                fragment.region.rows.contains(position)
+                and fragment.region.arity == schema.arity
+                and not fragment.is_full
+            ):
+                tile = fragment
+                break
+        if tile is None:
+            rows = RowRange(position, position + self.delta_tile_rows)
+            region = Region(rows, schema.names)
+            tile = Fragment(
+                region,
+                schema,
+                None if region.is_thin else LinearizationKind.NSM,
+                self.platform.host_memory,
+                label=f"ref:{name}:delta:[{rows.start},{rows.stop})",
+            )
+            unified.add_fragment(tile)
+            accelerated.add_fragment(tile)
+        tile.append_rows([tuple(row)])
+        managed.relation = relation.resized(position + 1)
+        unified.relation = managed.relation
+        accelerated.relation = managed.relation
+        if managed.primary_index is not None:
+            managed.primary_index.insert(row[0], position)
+        self.record_access(name, AccessKind.WRITE, schema.names, 1)
+        cost = ctx.platform.memory_model.random(
+            count=1, touched=schema.record_width, footprint=max(tile.nbytes, 1)
+        )
+        ctx.charge(f"ref-insert({name})", cost)
+        ctx.counters.bytes_written += schema.record_width
+        return position
+
+    # ------------------------------------------------------------------
+    # Reads: OLAP prefers the device, delegation routes the rest
+    # ------------------------------------------------------------------
+    def sum(self, name: str, attribute: str, ctx: ExecutionContext) -> float:
+        """Main part on the GPU when placed, delta patched on the CPU."""
+        managed = self.managed(name)
+        self.record_access(
+            name, AccessKind.READ, (attribute,), managed.relation.row_count
+        )
+        unified, accelerated = managed.layouts
+        device_fragment = None
+        for fragment in accelerated.fragments:
+            if (
+                fragment.region.attributes == (attribute,)
+                and is_device_resident(fragment)
+            ):
+                device_fragment = fragment
+                break
+        if device_fragment is None:
+            return sum_column(unified, attribute, ctx)
+        view = Layout(
+            f"{name}/device-view",
+            managed.relation,
+            [device_fragment],
+            allow_overlap=True, validate=False,
+        )
+        total = device_sum_column(view, attribute, ctx)
+        # Patch in the delta rows beyond the device replica's range.
+        delta_view_fragments = [
+            fragment
+            for fragment in unified.fragments
+            if fragment.region.rows.start >= device_fragment.region.rows.stop
+            and attribute in fragment.region.attributes
+        ]
+        if delta_view_fragments:
+            delta_view = Layout(
+                f"{name}/delta-view",
+                managed.relation,
+                delta_view_fragments,
+                allow_overlap=True, validate=False,
+            )
+            total += sum_column(delta_view, attribute, ctx)
+        return total
+
+    # ------------------------------------------------------------------
+    # Responsive adaptation: delta merge + re-placement (requirement 2)
+    # ------------------------------------------------------------------
+    def reorganize(self, name: str, ctx: ExecutionContext) -> bool:
+        """Merge the delta into the main columns, then re-place.
+
+        Returns False when the delta is empty and placements are
+        already optimal for the observed workload.
+        """
+        managed = self.managed(name)
+        relation = managed.relation
+        unified, accelerated = managed.layouts
+        delegation = self._delegations[name]
+        manager = self._snapshot_managers[name]
+        if manager.live_snapshots:
+            raise EngineError(
+                f"{self.name}: cannot re-organize {name!r} while "
+                f"{len(manager.live_snapshots)} analytic snapshot(s) are live"
+            )
+        delta_tiles = [
+            fragment
+            for fragment in unified.fragments
+            if fragment.region.rows.start >= delegation.main_rows
+        ]
+        changed = False
+        if delta_tiles:
+            self._unplace_all(name)
+            schema = relation.schema
+            old_columns = [
+                fragment
+                for fragment in unified.fragments
+                if fragment not in delta_tiles
+            ]
+            merged: dict[str, np.ndarray] = {}
+            for attribute in schema.names:
+                parts = [
+                    fragment.column(attribute)
+                    for fragment in old_columns
+                    if attribute in fragment.region.attributes
+                ]
+                for tile in sorted(
+                    delta_tiles, key=lambda f: f.region.rows.start
+                ):
+                    parts.append(np.asarray(tile.column(attribute)))
+                merged[attribute] = np.concatenate(parts) if parts else np.empty(0)
+            new_columns = [
+                self._main_column(relation, attribute, relation.rows, merged)
+                for attribute in schema.names
+            ]
+            cost = 2 * ctx.platform.memory_model.sequential(relation.nsm_bytes)
+            ctx.charge(f"ref-merge({name})", cost)
+            for fragment in unified.fragments:
+                fragment.free()
+            unified.replace_fragments(new_columns)
+            unified.validate()
+            accelerated.replace_fragments(list(new_columns))
+            delegation.main_rows = relation.row_count
+            changed = True
+        placed = self._place_hottest(name)
+        if placed:
+            for attribute in placed:
+                replica_bytes = relation.row_count * relation.schema.attribute(
+                    attribute
+                ).width
+                cost = ctx.platform.interconnect.transfer_cost(
+                    replica_bytes, ctx.counters
+                )
+                ctx.note(f"ref-place({attribute})", cost)
+            changed = True
+        return changed

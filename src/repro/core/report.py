@@ -1,0 +1,88 @@
+"""Text renderings of the paper's artifacts (Table 1, Figure 4, E8).
+
+The benchmark harness prints these so a run's output can be compared
+against the paper side by side; EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.classification import Classification
+from repro.core.requirements import REFERENCE_REQUIREMENTS, check_requirements
+from repro.core.survey import SurveyResult
+from repro.core.taxonomy import TAXONOMY_TREE
+
+__all__ = [
+    "render_table",
+    "render_survey_table",
+    "render_taxonomy",
+    "render_requirements_matrix",
+]
+
+_HEADERS = (
+    "Engine",
+    "Layout handling",
+    "Layout flexibility",
+    "Layout adaptability",
+    "Data location",
+    "Fragment linearization",
+    "Fragment scheme",
+    "Processor",
+    "Workload",
+    "Date",
+)
+
+
+def render_table(rows: Sequence[Sequence[str]], headers: Sequence[str]) -> str:
+    """A plain-text table with per-column width alignment."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [fmt(headers), separator]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_survey_table(results: Sequence[SurveyResult]) -> str:
+    """Table 1, re-derived, with a match marker per row."""
+    rows = []
+    for result in results:
+        marker = "==" if result.matches else "!="
+        rows.append((*result.derived.row(), marker))
+    return render_table(rows, (*_HEADERS, "vs paper"))
+
+
+def render_taxonomy() -> str:
+    """Figure 4's tree as indented text."""
+    return TAXONOMY_TREE.render()
+
+
+def render_requirements_matrix(
+    classifications: Sequence[Classification],
+) -> str:
+    """The E8 gap matrix: engines x six reference requirements."""
+    headers = ["Engine"] + [
+        f"R{requirement.number}" for requirement in REFERENCE_REQUIREMENTS
+    ] + ["all six"]
+    rows = []
+    for classification in classifications:
+        verdicts = check_requirements(classification)
+        rows.append(
+            (
+                classification.engine,
+                *("yes" if verdicts[r.number] else "no" for r in REFERENCE_REQUIREMENTS),
+                "YES" if all(verdicts.values()) else "no",
+            )
+        )
+    legend = "\n".join(
+        f"  R{requirement.number}: {requirement.title}"
+        for requirement in REFERENCE_REQUIREMENTS
+    )
+    return render_table(rows, headers) + "\n\nRequirements:\n" + legend

@@ -1,0 +1,91 @@
+"""Section IV-C's reference storage-engine requirements, checkable.
+
+"(1) at least constrained strong flexible layout support, (2) layout
+responsive to changes in workloads, (3) mixed data location and
+distributed data locality, (4) fragmentation linearization that cover
+NSM and DSM, (5) built-in multi layout handling for relations, and
+(6) fragment scheme supports delegation."
+
+Each requirement is one predicate over a derived
+:class:`~repro.core.classification.Classification`;
+:func:`check_requirements` evaluates all six, and the gap benchmark
+(E8) shows that no surveyed engine passes all of them while the
+reference engine does — the paper's "resolute: not yet".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.classification import Classification
+from repro.core.taxonomy import (
+    FragmentScheme,
+    LayoutAdaptability,
+    LayoutHandling,
+    LocationLocality,
+    LocationTarget,
+)
+
+__all__ = ["Requirement", "REFERENCE_REQUIREMENTS", "check_requirements", "satisfies_all"]
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One numbered requirement of the reference design."""
+
+    number: int
+    title: str
+    predicate: Callable[[Classification], bool]
+
+    def check(self, classification: Classification) -> bool:
+        """Whether *classification* satisfies the requirement."""
+        return self.predicate(classification)
+
+
+REFERENCE_REQUIREMENTS: tuple[Requirement, ...] = (
+    Requirement(
+        1,
+        "at least constrained strong flexible layout support",
+        lambda c: c.flexibility.is_strong,
+    ),
+    Requirement(
+        2,
+        "layout responsive to changes in workloads",
+        lambda c: c.adaptability is LayoutAdaptability.RESPONSIVE,
+    ),
+    Requirement(
+        3,
+        "mixed data location and distributed data locality",
+        lambda c: c.location_target is LocationTarget.MIXED
+        and c.location_locality is LocationLocality.DISTRIBUTED,
+    ),
+    Requirement(
+        4,
+        "fragmentation linearization that covers NSM and DSM",
+        lambda c: c.linearization.covers_nsm_and_dsm,
+    ),
+    Requirement(
+        5,
+        "built-in multi layout handling for relations",
+        lambda c: c.layout_handling is LayoutHandling.MULTI_BUILT_IN,
+    ),
+    Requirement(
+        6,
+        "fragment scheme supports delegation",
+        lambda c: c.scheme is FragmentScheme.DELEGATION,
+    ),
+)
+
+
+def check_requirements(classification: Classification) -> dict[int, bool]:
+    """Requirement number -> pass/fail for one classification."""
+    return {
+        requirement.number: requirement.check(classification)
+        for requirement in REFERENCE_REQUIREMENTS
+    }
+
+
+def satisfies_all(classification: Classification) -> bool:
+    """Whether every reference requirement holds."""
+    return all(check_requirements(classification).values())

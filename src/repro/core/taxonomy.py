@@ -1,0 +1,276 @@
+"""The paper's taxonomy (Figure 4) as enums and an explicit tree.
+
+Each classification *axis* is an enum whose values are the taxonomy's
+leaves; :data:`TAXONOMY_TREE` reproduces Figure 4's hierarchy literally
+(inner nodes and all), so the structure itself is testable and
+renderable, not just the leaf values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.layout.properties import LinearizationProperty
+
+__all__ = [
+    "LayoutHandling",
+    "LayoutFlexibility",
+    "LayoutAdaptability",
+    "LocationTarget",
+    "LocationLocality",
+    "FragmentScheme",
+    "ProcessorSupport",
+    "LinearizationProperty",
+    "TaxonomyNode",
+    "TAXONOMY_TREE",
+]
+
+
+class LayoutHandling(enum.Enum):
+    """Single layout vs. multi layout (built-in or emulated)."""
+
+    SINGLE = "single"
+    MULTI_BUILT_IN = "built-in multi"
+    MULTI_EMULATED = "emulated multi"
+
+    @property
+    def is_multi(self) -> bool:
+        """Whether a relation may have several alternative layouts."""
+        return self is not LayoutHandling.SINGLE
+
+
+class LayoutFlexibility(enum.Enum):
+    """Fragmentation freedom: none, one technique, or both (ordered?)."""
+
+    INFLEXIBLE = "inflex."
+    WEAK = "weak flex."
+    STRONG_CONSTRAINED = "strong flex. (constr.)"
+    STRONG_UNCONSTRAINED = "strong flex. (unconstr.)"
+
+    @property
+    def is_flexible(self) -> bool:
+        """Anything beyond one-fragment-per-layout."""
+        return self is not LayoutFlexibility.INFLEXIBLE
+
+    @property
+    def is_strong(self) -> bool:
+        """Combines vertical and horizontal partitioning."""
+        return self in (
+            LayoutFlexibility.STRONG_CONSTRAINED,
+            LayoutFlexibility.STRONG_UNCONSTRAINED,
+        )
+
+    @property
+    def table_label(self) -> str:
+        """Table 1 prints strong flexibility without the order suffix."""
+        if self.is_strong:
+            return "strong flex."
+        return self.value
+
+
+class LayoutAdaptability(enum.Enum):
+    """Whether layouts re-organize in response to the workload."""
+
+    STATIC = "static"
+    RESPONSIVE = "respons."
+
+
+class LocationTarget(enum.Enum):
+    """Where tuplets live (the target half of the data-location axis)."""
+
+    HOST_MEMORY_ONLY = "host-memory-only"
+    DEVICE_MEMORY_ONLY = "device-memory-only"
+    SECONDARY_MEMORY_ONLY = "secondary-memory-only"
+    MIXED = "mixed"
+
+
+class LocationLocality(enum.Enum):
+    """Centralized vs. distributed data locality."""
+
+    CENTRALIZED = "centr."
+    DISTRIBUTED = "distr."
+
+
+class FragmentScheme(enum.Enum):
+    """How multi-layout redundancy is managed (or not present)."""
+
+    NONE = "-"
+    REPLICATION = "replication"
+    DELEGATION = "delegated"
+
+
+class ProcessorSupport(enum.Enum):
+    """Which processors execute the engine's operators."""
+
+    CPU = "CPU"
+    GPU = "GPU"
+    CPU_GPU = "CPU/GPU"
+
+    @property
+    def includes_gpu(self) -> bool:
+        """Whether the device participates in execution."""
+        return self in (ProcessorSupport.GPU, ProcessorSupport.CPU_GPU)
+
+
+@dataclass(frozen=True)
+class TaxonomyNode:
+    """One node of Figure 4's tree."""
+
+    name: str
+    children: tuple["TaxonomyNode", ...] = ()
+    leaf_value: object | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node carries a classification value."""
+        return not self.children
+
+    def walk(self) -> Iterator[tuple[int, "TaxonomyNode"]]:
+        """Depth-first (depth, node) traversal."""
+        yield 0, self
+        for child in self.children:
+            for depth, node in child.walk():
+                yield depth + 1, node
+
+    def leaves(self) -> list["TaxonomyNode"]:
+        """All leaf nodes under this node."""
+        return [node for __, node in self.walk() if node.is_leaf]
+
+    def find(self, name: str) -> "TaxonomyNode | None":
+        """First node with the given name (depth-first)."""
+        for __, node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def render(self, indent: str = "  ") -> str:
+        """A plain-text rendering of the subtree."""
+        lines = [f"{indent * depth}{node.name}" for depth, node in self.walk()]
+        return "\n".join(lines)
+
+
+def _leaf(name: str, value: object) -> TaxonomyNode:
+    return TaxonomyNode(name, leaf_value=value)
+
+
+#: Figure 4, literally: the classification-property tree.
+TAXONOMY_TREE = TaxonomyNode(
+    "Storage Engine",
+    (
+        TaxonomyNode(
+            "Layout Handling",
+            (
+                _leaf("Single Layout", LayoutHandling.SINGLE),
+                TaxonomyNode(
+                    "Multi Layout",
+                    (
+                        _leaf("Built-In", LayoutHandling.MULTI_BUILT_IN),
+                        _leaf("Emulated", LayoutHandling.MULTI_EMULATED),
+                    ),
+                ),
+            ),
+        ),
+        TaxonomyNode(
+            "Layout Flexibility",
+            (
+                _leaf("Inflexible", LayoutFlexibility.INFLEXIBLE),
+                TaxonomyNode(
+                    "Flexible",
+                    (
+                        _leaf("Weak", LayoutFlexibility.WEAK),
+                        TaxonomyNode(
+                            "Strong",
+                            (
+                                _leaf(
+                                    "Constrained",
+                                    LayoutFlexibility.STRONG_CONSTRAINED,
+                                ),
+                                _leaf(
+                                    "Unconstrained",
+                                    LayoutFlexibility.STRONG_UNCONSTRAINED,
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        TaxonomyNode(
+            "Layout Adaptability",
+            (
+                _leaf("Static", LayoutAdaptability.STATIC),
+                _leaf("Responsive", LayoutAdaptability.RESPONSIVE),
+            ),
+        ),
+        TaxonomyNode(
+            "Data Location",
+            (
+                TaxonomyNode(
+                    "Target",
+                    (
+                        _leaf("Host-Memory-Only", LocationTarget.HOST_MEMORY_ONLY),
+                        _leaf(
+                            "Device-Memory-Only", LocationTarget.DEVICE_MEMORY_ONLY
+                        ),
+                        _leaf("Mixed", LocationTarget.MIXED),
+                    ),
+                ),
+                TaxonomyNode(
+                    "Locality",
+                    (
+                        _leaf("Centralized", LocationLocality.CENTRALIZED),
+                        _leaf("Distributed", LocationLocality.DISTRIBUTED),
+                    ),
+                ),
+            ),
+        ),
+        TaxonomyNode(
+            "Fragment Linearization",
+            (
+                TaxonomyNode(
+                    "Fat Fragments",
+                    (
+                        _leaf("NSM-Fixed", LinearizationProperty.FAT_NSM_FIXED),
+                        _leaf("DSM-Fixed", LinearizationProperty.FAT_DSM_FIXED),
+                        _leaf("Variable", LinearizationProperty.FAT_VARIABLE),
+                    ),
+                ),
+                TaxonomyNode(
+                    "Thin Fragments",
+                    (
+                        _leaf("Direct Linearization", LinearizationProperty.DIRECT),
+                        TaxonomyNode(
+                            "Emulated Linearization",
+                            (
+                                _leaf("NSM", LinearizationProperty.THIN_NSM_EMULATED),
+                                _leaf("DSM", LinearizationProperty.THIN_DSM_EMULATED),
+                            ),
+                        ),
+                    ),
+                ),
+                TaxonomyNode(
+                    "Variable",
+                    (
+                        _leaf(
+                            "DSM-Fixed Partially NSM-Emulated",
+                            LinearizationProperty.VARIABLE_DSM_FIXED_PARTIALLY_NSM_EMULATED,
+                        ),
+                        _leaf(
+                            "NSM-Fixed Partially DSM-Emulated",
+                            LinearizationProperty.VARIABLE_NSM_FIXED_PARTIALLY_DSM_EMULATED,
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        TaxonomyNode(
+            "Fragment Scheme",
+            (
+                _leaf("Replication-Based", FragmentScheme.REPLICATION),
+                _leaf("Delegation-Based", FragmentScheme.DELEGATION),
+            ),
+        ),
+    ),
+)

@@ -1,0 +1,13 @@
+"""Shared-nothing cluster and replicated block store (ES2 substrate)."""
+
+from repro.distributed.cluster import Cluster, ClusterNode, NetworkModel
+from repro.distributed.dfs import BlockStore, DFSBlock, DFSFile
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "NetworkModel",
+    "BlockStore",
+    "DFSBlock",
+    "DFSFile",
+]

@@ -1,0 +1,106 @@
+"""Simulated shared-nothing cluster (the ES2 substrate).
+
+ES2 runs on "large cluster[s] of shared-nothing commodity machines".
+This module provides the minimum honest stand-in: named nodes, each
+with its own host memory and disk (no memory is shared), plus a flat
+network cost model for remote reads.  It exists so the ES2 mini-engine
+can exhibit the classification-relevant behaviours — distributed data
+location, partition-to-node delegation, replication for fault
+tolerance — against real allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DistributedError
+from repro.hardware.event import Cycles, PerfCounters
+from repro.hardware.memory import MemoryKind, MemorySpace
+
+__all__ = ["ClusterNode", "Cluster", "NetworkModel"]
+
+_GiB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency + bandwidth of the cluster interconnect (per message)."""
+
+    bandwidth: float = 1.25e9  # 10 GbE in bytes/second
+    latency_s: float = 100.0e-6
+    host_frequency_hz: float = 2.6e9
+
+    def transfer_cost(self, nbytes: int, counters: PerfCounters | None = None) -> Cycles:
+        """Host cycles to move *nbytes* node-to-node once."""
+        if nbytes < 0:
+            raise DistributedError(f"transfer size must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        seconds = self.latency_s + nbytes / self.bandwidth
+        cost = seconds * self.host_frequency_hz
+        if counters is not None:
+            counters.cycles += cost
+            counters.bytes_transferred += nbytes
+        return cost
+
+
+class ClusterNode:
+    """One shared-nothing machine: private memory and disk."""
+
+    def __init__(
+        self, name: str, memory_capacity: int = 8 * _GiB, disk_capacity: int = 256 * _GiB
+    ) -> None:
+        self.name = name
+        self.memory = MemorySpace(f"{name}.mem", MemoryKind.HOST, memory_capacity)
+        self.disk = MemorySpace(f"{name}.disk", MemoryKind.DISK, disk_capacity)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusterNode({self.name})"
+
+
+class Cluster:
+    """A fixed set of nodes with hash-based placement."""
+
+    def __init__(self, node_count: int = 4, network: NetworkModel | None = None) -> None:
+        if node_count < 1:
+            raise DistributedError(f"a cluster needs >= 1 node, got {node_count}")
+        self.nodes = [ClusterNode(f"node{index}") for index in range(node_count)]
+        self.network = network or NetworkModel()
+
+    def node(self, name: str) -> ClusterNode:
+        """Look up a node by name."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise DistributedError(f"unknown node {name!r}")
+
+    def node_for(self, key: int) -> ClusterNode:
+        """Deterministic placement of an integer key onto a node."""
+        return self.nodes[key % len(self.nodes)]
+
+    def replica_nodes(self, key: int, replication: int) -> list[ClusterNode]:
+        """The *replication* consecutive nodes starting at the key's home.
+
+        Raises when replication exceeds the cluster size (a block cannot
+        be replicated twice on one node).
+        """
+        if replication < 1:
+            raise DistributedError(f"replication must be >= 1, got {replication}")
+        if replication > len(self.nodes):
+            raise DistributedError(
+                f"replication {replication} exceeds cluster size {len(self.nodes)}"
+            )
+        start = key % len(self.nodes)
+        return [
+            self.nodes[(start + offset) % len(self.nodes)]
+            for offset in range(replication)
+        ]
+
+    def add_node(self) -> ClusterNode:
+        """Provision one more shared-nothing node (elastic scale-out)."""
+        node = ClusterNode(f"node{len(self.nodes)}")
+        self.nodes.append(node)
+        return node
+
+    def __len__(self) -> int:
+        return len(self.nodes)

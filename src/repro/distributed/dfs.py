@@ -1,0 +1,186 @@
+"""A replicated block store (the "slightly modified Hadoop DFS" of ES2).
+
+ES2 writes PAX-formatted tuplets to the DFS "as a raw-byte device".
+:class:`BlockStore` models exactly that surface: fixed-size blocks,
+replicated onto *replication* distinct nodes' disks, with reads served
+from the nearest replica (free when local, one network transfer when
+remote).  Payload bytes are carried opaquely — the storage engine above
+owns the format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.cluster import Cluster, ClusterNode
+from repro.errors import DistributedError
+from repro.hardware.event import Cycles, PerfCounters
+from repro.hardware.memory import Allocation
+
+__all__ = ["DFSBlock", "DFSFile", "BlockStore"]
+
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024  # HDFS-style 64 MiB blocks
+
+
+@dataclass
+class DFSBlock:
+    """One replicated block: payload plus its per-node disk allocations."""
+
+    index: int
+    size: int
+    payload: bytes
+    replicas: dict[str, Allocation] = field(default_factory=dict)
+
+    @property
+    def replica_nodes(self) -> tuple[str, ...]:
+        """Names of nodes holding a replica."""
+        return tuple(self.replicas)
+
+
+@dataclass
+class DFSFile:
+    """An ordered list of blocks under one path."""
+
+    path: str
+    blocks: list[DFSBlock] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total payload bytes."""
+        return sum(block.size for block in self.blocks)
+
+
+class BlockStore:
+    """Replicated block storage over a :class:`Cluster`'s disks."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        replication: int = 3,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if block_size < 1:
+            raise DistributedError(f"block_size must be >= 1, got {block_size}")
+        if replication > len(cluster):
+            raise DistributedError(
+                f"replication {replication} exceeds cluster size {len(cluster)}"
+            )
+        self.cluster = cluster
+        self.replication = replication
+        self.block_size = block_size
+        self._files: dict[str, DFSFile] = {}
+
+    # ------------------------------------------------------------------
+    def write(self, path: str, payload: bytes) -> DFSFile:
+        """Store *payload* under *path*, splitting and replicating blocks.
+
+        Re-writing an existing path is an error (HDFS files are
+        write-once); delete first.
+        """
+        if path in self._files:
+            raise DistributedError(f"path {path!r} already exists (write-once)")
+        dfs_file = DFSFile(path)
+        for index in range(0, max(len(payload), 1), self.block_size):
+            chunk = payload[index : index + self.block_size]
+            block = DFSBlock(index // self.block_size, len(chunk), chunk)
+            nodes = self.cluster.replica_nodes(
+                hash((path, block.index)) & 0x7FFFFFFF, self.replication
+            )
+            for node in nodes:
+                block.replicas[node.name] = node.disk.allocate(
+                    len(chunk), f"dfs:{path}#{block.index}"
+                )
+            dfs_file.blocks.append(block)
+        self._files[path] = dfs_file
+        return dfs_file
+
+    def read(
+        self,
+        path: str,
+        reader: ClusterNode,
+        counters: PerfCounters | None = None,
+    ) -> tuple[bytes, Cycles]:
+        """Read the whole file from *reader*'s point of view.
+
+        Blocks with a local replica cost nothing extra; remote blocks
+        cost one network transfer each.  Returns (payload, cycles).
+        """
+        dfs_file = self.file(path)
+        payload = bytearray()
+        cost: Cycles = 0.0
+        for block in dfs_file.blocks:
+            payload.extend(block.payload)
+            if reader.name not in block.replicas:
+                cost += self.cluster.network.transfer_cost(block.size, counters)
+        return bytes(payload), cost
+
+    def delete(self, path: str) -> None:
+        """Remove a file, freeing every replica's disk allocation."""
+        dfs_file = self.file(path)
+        for block in dfs_file.blocks:
+            for node_name, allocation in block.replicas.items():
+                self.cluster.node(node_name).disk.free(allocation)
+        del self._files[path]
+
+    def file(self, path: str) -> DFSFile:
+        """Look up a file by path."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise DistributedError(f"no such DFS path {path!r}") from None
+
+    def paths(self) -> tuple[str, ...]:
+        """All stored paths."""
+        return tuple(self._files)
+
+    def under_replicated(self) -> list[tuple[str, int]]:
+        """(path, block index) pairs whose replica count is below target.
+
+        Empty in healthy stores; fault-injection tests knock replicas
+        out via :meth:`fail_node` and assert re-replication accounting.
+        """
+        problems: list[tuple[str, int]] = []
+        for path, dfs_file in self._files.items():
+            for block in dfs_file.blocks:
+                if len(block.replicas) < self.replication:
+                    problems.append((path, block.index))
+        return problems
+
+    def fail_node(self, node_name: str) -> int:
+        """Drop every replica held by *node_name*; returns replicas lost."""
+        node = self.cluster.node(node_name)
+        lost = 0
+        for dfs_file in self._files.values():
+            for block in dfs_file.blocks:
+                allocation = block.replicas.pop(node_name, None)
+                if allocation is not None:
+                    node.disk.free(allocation)
+                    lost += 1
+        return lost
+
+    def re_replicate(self, counters: PerfCounters | None = None) -> int:
+        """Restore the replication target for every under-replicated block.
+
+        Each repaired replica costs one network transfer of the block.
+        Returns the number of replicas created.
+        """
+        created = 0
+        for path, dfs_file in self._files.items():
+            for block in dfs_file.blocks:
+                candidates = [
+                    node
+                    for node in self.cluster.nodes
+                    if node.name not in block.replicas
+                ]
+                while len(block.replicas) < self.replication:
+                    if not candidates:
+                        raise DistributedError(
+                            f"not enough nodes to re-replicate {path!r}#{block.index}"
+                        )
+                    node = candidates.pop(0)
+                    block.replicas[node.name] = node.disk.allocate(
+                        block.size, f"dfs:{path}#{block.index}"
+                    )
+                    self.cluster.network.transfer_cost(block.size, counters)
+                    created += 1
+        return created

@@ -1,0 +1,60 @@
+"""The surveyed storage engines (Section IV), one module each."""
+
+from repro.engines.base import (
+    DelegationPolicy,
+    EngineCapabilities,
+    FragmentationChoice,
+    ManagedRelation,
+    MultiLayoutSupport,
+    StorageEngine,
+    WorkloadSupport,
+    fill_fragment,
+)
+from repro.engines.cogadb import CoGaDBEngine, HypeScheduler
+from repro.engines.es2 import ES2Engine
+from repro.engines.fractured_mirrors import FracturedMirrorsEngine
+from repro.engines.generic import (
+    ColumnStoreEngine,
+    EmulatedMultiLayoutEngine,
+    NsmEmulatedEngine,
+    RowStoreEngine,
+)
+from repro.engines.gputx import GpuTxEngine, Transaction, TxKind
+from repro.engines.h2o import H2OEngine
+from repro.engines.hyper import HyperEngine
+from repro.engines.hyrise import HyriseEngine
+from repro.engines.lstore import LStoreEngine, PageDictionary
+from repro.engines.pax import BufferPool, PaxEngine
+from repro.engines.peloton import LogicalTile, LogicalTileCatalog, PelotonEngine
+
+__all__ = [
+    "StorageEngine",
+    "EngineCapabilities",
+    "FragmentationChoice",
+    "MultiLayoutSupport",
+    "WorkloadSupport",
+    "DelegationPolicy",
+    "ManagedRelation",
+    "fill_fragment",
+    "PaxEngine",
+    "BufferPool",
+    "FracturedMirrorsEngine",
+    "HyriseEngine",
+    "ES2Engine",
+    "GpuTxEngine",
+    "Transaction",
+    "TxKind",
+    "H2OEngine",
+    "HyperEngine",
+    "CoGaDBEngine",
+    "HypeScheduler",
+    "LStoreEngine",
+    "PageDictionary",
+    "LogicalTile",
+    "LogicalTileCatalog",
+    "PelotonEngine",
+    "RowStoreEngine",
+    "ColumnStoreEngine",
+    "NsmEmulatedEngine",
+    "EmulatedMultiLayoutEngine",
+]

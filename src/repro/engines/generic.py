@@ -1,0 +1,271 @@
+"""Generic baseline engines and the emulated-multi-layout wrapper.
+
+These are not surveyed systems; they exist because the taxonomy
+describes a *design space*, and three of its corners appear in no
+published engine:
+
+* :class:`RowStoreEngine` — the textbook NSM engine (fat, NSM-fixed):
+  the "row-store / host" baseline of Figure 2 as a first-class engine.
+* :class:`ColumnStoreEngine` — the textbook DSM-emulated engine: the
+  "column-store / host" baseline.
+* :class:`NsmEmulatedEngine` — NSM *emulated* through thin single-row
+  fragments (the taxonomy's ``thin, NSM-emulated`` leaf: each record is
+  its own directly-linearized fragment, as in record-at-a-time object
+  stores).
+* :class:`EmulatedMultiLayoutEngine` — the paper's "emulated"
+  multi-layout strategy: "storage engines can emulate a multi-layout
+  property for a relation R by holding relations R1, R2, ..., Rn under
+  the same name, but [with] pair-wise different fragments ... following
+  a data replication strategy."  The wrapper holds one inner engine per
+  alternative format and replicates writes across them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.base import (
+    EngineCapabilities,
+    FragmentationChoice,
+    MultiLayoutSupport,
+    StorageEngine,
+    WorkloadSupport,
+    fill_fragment,
+)
+from repro.errors import EngineError
+from repro.execution.access import AccessKind
+from repro.hardware.platform import Platform
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import LinearizationKind
+from repro.layout.partitioning import one_region_per_attribute
+from repro.layout.region import Region
+from repro.model.relation import Relation, RowRange
+from repro.model.schema import Schema
+
+__all__ = [
+    "RowStoreEngine",
+    "ColumnStoreEngine",
+    "NsmEmulatedEngine",
+    "EmulatedMultiLayoutEngine",
+]
+
+
+class RowStoreEngine(StorageEngine):
+    """One fat NSM fragment per relation: the classic row store."""
+
+    name = "RowStore"
+    year = 1976  # Ingres/System R heritage
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            fragmentation_choice=FragmentationChoice.NONE,
+            constrained_order=None,
+            fat_formats=frozenset({LinearizationKind.NSM}),
+            per_fragment_choice=False,
+            multi_layout=MultiLayoutSupport.SINGLE,
+            workload=WorkloadSupport.OLTP,
+        )
+
+    def _build(
+        self, relation: Relation, columns: dict[str, np.ndarray] | None
+    ) -> list[Layout]:
+        region = Region.full(relation)
+        fragment = Fragment(
+            region,
+            relation.schema,
+            LinearizationKind.NSM if region.is_fat else None,
+            self.platform.host_memory,
+            label=f"rowstore:{relation.name}",
+            materialize=columns is not None,
+        )
+        fill_fragment(fragment, columns)
+        return [Layout(f"{relation.name}/nsm", relation, [fragment])]
+
+
+class ColumnStoreEngine(StorageEngine):
+    """One thin fragment per attribute: the classic column store."""
+
+    name = "ColumnStore"
+    year = 1985  # DSM heritage (Copeland & Khoshafian)
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            fragmentation_choice=FragmentationChoice.VERTICAL,
+            constrained_order=None,
+            fat_formats=frozenset(),
+            per_fragment_choice=False,
+            multi_layout=MultiLayoutSupport.SINGLE,
+            workload=WorkloadSupport.OLAP,
+        )
+
+    def _build(
+        self, relation: Relation, columns: dict[str, np.ndarray] | None
+    ) -> list[Layout]:
+        fragments = []
+        for region in one_region_per_attribute(relation):
+            fragment = Fragment(
+                region,
+                relation.schema,
+                None,
+                self.platform.host_memory,
+                label=f"colstore:{relation.name}:{region.attributes[0]}",
+                materialize=columns is not None,
+            )
+            fill_fragment(fragment, columns)
+            fragments.append(fragment)
+        return [Layout(f"{relation.name}/dsm-emulated", relation, fragments)]
+
+
+class NsmEmulatedEngine(StorageEngine):
+    """One thin single-row fragment per record: NSM by emulation.
+
+    Horizontal fragmentation down to single tuples makes every fragment
+    thin (directly linearized as one record) — the ``thin,
+    NSM-emulated`` taxonomy leaf.  Impractical at scale (one allocation
+    per record); implemented for taxonomy completeness and capped to
+    :attr:`MAX_ROWS` rows.
+    """
+
+    name = "NsmEmulated"
+    year = 1992  # record-at-a-time object-store heritage (Goblin et al.)
+
+    MAX_ROWS = 100_000
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            fragmentation_choice=FragmentationChoice.HORIZONTAL,
+            constrained_order=None,
+            fat_formats=frozenset(),
+            per_fragment_choice=False,
+            multi_layout=MultiLayoutSupport.SINGLE,
+            workload=WorkloadSupport.OLTP,
+        )
+
+    def _build(
+        self, relation: Relation, columns: dict[str, np.ndarray] | None
+    ) -> list[Layout]:
+        if relation.row_count > self.MAX_ROWS:
+            raise EngineError(
+                f"{self.name}: per-record fragments are capped at "
+                f"{self.MAX_ROWS} rows ({relation.row_count} requested)"
+            )
+        fragments = []
+        for row in range(relation.row_count):
+            region = Region(RowRange(row, row + 1), relation.schema.names)
+            fragment = Fragment(
+                region,
+                relation.schema,
+                None,
+                self.platform.host_memory,
+                label=f"nsmemu:{relation.name}:r{row}",
+                materialize=columns is not None,
+            )
+            fill_fragment(fragment, columns)
+            fragments.append(fragment)
+        return [Layout(f"{relation.name}/nsm-emulated", relation, fragments)]
+
+
+class EmulatedMultiLayoutEngine(StorageEngine):
+    """Multi-layout by emulation: same name, several inner engines.
+
+    Reads route by shape (record-centric work to the row replica,
+    attribute-centric to the column replica); writes replicate to every
+    inner engine — the user-space strategy the paper contrasts with
+    *built-in* multi-layout support.
+    """
+
+    name = "EmulatedMulti"
+    year = 2017
+
+    def __init__(self, platform: Platform) -> None:
+        super().__init__(platform)
+        self.row_replica = RowStoreEngine(platform)
+        self.column_replica = ColumnStoreEngine(platform)
+
+    @property
+    def replicas(self) -> tuple[StorageEngine, ...]:
+        """The inner engines holding the same-named relations."""
+        return (self.row_replica, self.column_replica)
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            fragmentation_choice=FragmentationChoice.VERTICAL,
+            constrained_order=None,
+            fat_formats=frozenset({LinearizationKind.NSM}),
+            per_fragment_choice=False,
+            multi_layout=MultiLayoutSupport.EMULATED,
+            workload=WorkloadSupport.HTAP,
+        )
+
+    # ------------------------------------------------------------------
+    # DDL/DML replicate across the inner engines
+    # ------------------------------------------------------------------
+    def create(self, name: str, schema: Schema) -> None:
+        super().create(name, schema)
+        for replica in self.replicas:
+            replica.create(name, schema)
+
+    def _build(
+        self, relation: Relation, columns: dict[str, np.ndarray] | None
+    ) -> list[Layout]:
+        raise EngineError(  # pragma: no cover - load() is overridden
+            f"{self.name}: inner engines build their own layouts"
+        )
+
+    def load(self, name: str, columns: dict[str, np.ndarray]) -> None:
+        managed = self.managed(name)
+        if managed.layouts:
+            raise EngineError(f"{self.name}: relation {name!r} is already loaded")
+        for replica in self.replicas:
+            replica.load(name, columns)
+        row_count = len(next(iter(columns.values())))
+        managed.relation = managed.relation.resized(row_count)
+        managed.layouts = [
+            layout for replica in self.replicas for layout in replica.layouts(name)
+        ]
+        managed.primary_index = self.row_replica.managed(name).primary_index
+
+    def load_phantom(self, name: str, row_count: int) -> None:
+        managed = self.managed(name)
+        if managed.layouts:
+            raise EngineError(f"{self.name}: relation {name!r} is already loaded")
+        for replica in self.replicas:
+            replica.load_phantom(name, row_count)
+        managed.relation = managed.relation.resized(row_count)
+        managed.layouts = [
+            layout for replica in self.replicas for layout in replica.layouts(name)
+        ]
+
+    # ------------------------------------------------------------------
+    # Shape routing, replicated writes
+    # ------------------------------------------------------------------
+    def drop(self, name: str) -> None:
+        """Drop the relation from every inner replica (and this wrapper)."""
+        for replica in self.replicas:
+            replica.drop(name)
+        del self._relations[name]
+
+    def materialize(self, name, positions, ctx):
+        self.record_access(
+            name, AccessKind.READ, self.relation(name).schema.names, len(positions)
+        )
+        return self.row_replica.materialize(name, positions, ctx)
+
+    def sum(self, name, attribute, ctx):
+        self.record_access(
+            name, AccessKind.READ, (attribute,), self.relation(name).row_count
+        )
+        return self.column_replica.sum(name, attribute, ctx)
+
+    def sum_at(self, name, attribute, positions, ctx):
+        self.record_access(name, AccessKind.READ, (attribute,), len(positions))
+        return self.column_replica.sum_at(name, attribute, positions, ctx)
+
+    def update(self, name, position, attribute, value, ctx):
+        self.record_access(name, AccessKind.WRITE, (attribute,), 1)
+        for replica in self.replicas:
+            replica.update(name, position, attribute, value, ctx)
+
+    def point_query(self, name, key, ctx):
+        return self.row_replica.point_query(name, key, ctx)

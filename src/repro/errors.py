@@ -1,0 +1,85 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still distinguishing the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or schema lookup is invalid.
+
+    Raised for duplicate attribute names, unknown attributes, empty
+    schemas, and type/width mismatches.
+    """
+
+
+class LayoutError(ReproError):
+    """A layout or fragment definition violates Section III's rules.
+
+    Examples: fragments that do not cover the relation, fragments that
+    span non-gapless regions, overlapping fragments within a layout that
+    forbids overlap, or a linearization requested on a fragment shape
+    that does not support it.
+    """
+
+
+class StorageError(ReproError):
+    """A storage operation failed (allocation, out-of-bounds access)."""
+
+
+class CapacityError(StorageError):
+    """A memory space cannot satisfy an allocation request.
+
+    This is the error behind CoGaDB's "all or nothing" device placement
+    fallback: when the device memory cannot hold a column, placement
+    falls back to host memory instead of splitting the column.
+    """
+
+
+class EngineError(ReproError):
+    """A storage engine was used outside its declared capabilities.
+
+    Raised, for example, when asking a static engine to re-organize its
+    layout, or asking a single-layout engine to add a second layout.
+    """
+
+
+class TransactionError(EngineError):
+    """A transactional operation failed (conflict, unknown record)."""
+
+
+class DelegationError(EngineError):
+    """A delegation policy was violated.
+
+    Delegation-based fragment schemes restrict which layout may serve
+    which data region; accessing a region through a layout that does not
+    own it (and has no delegate) is undefined behaviour in the paper's
+    terms — here it is a hard error.
+    """
+
+
+class ExecutionError(ReproError):
+    """Query execution failed (bad plan, operator misuse)."""
+
+
+class PlacementError(ReproError):
+    """A data placement decision could not be applied."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid."""
+
+
+class ClassificationError(ReproError):
+    """An engine's mechanisms could not be classified against the taxonomy."""
+
+
+class DistributedError(ReproError):
+    """A simulated cluster operation failed (unknown node, under-replication)."""

@@ -1,0 +1,88 @@
+"""Execution contexts: where operator costs are charged.
+
+An :class:`ExecutionContext` binds a simulated platform to a counter
+bundle and a threading policy.  Operators read data out of fragments
+(the data plane) and charge the platform's models (the cost plane)
+through this object, so a benchmark series is just "same plan, different
+context".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.event import CostBreakdown, Cycles, PerfCounters
+from repro.hardware.platform import Platform
+from repro.execution.threading import SINGLE_THREADED, ThreadingPolicy
+
+__all__ = ["ExecutionContext"]
+
+
+@dataclass
+class ExecutionContext:
+    """Per-query execution state.
+
+    Attributes
+    ----------
+    platform:
+        The simulated machine.
+    threading:
+        Host threading policy for parallelizable operators.
+    counters:
+        Accumulates cycles and explanatory events across the query.
+    breakdown:
+        Labelled cost decomposition for reports.
+    call_overhead_cycles:
+        Cost of one operator-interface call (next()/function call); the
+        Volcano model pays it per tuple, the bulk model per vector.
+    """
+
+    platform: Platform
+    threading: ThreadingPolicy = SINGLE_THREADED
+    counters: PerfCounters = field(default_factory=PerfCounters)
+    breakdown: CostBreakdown = field(default_factory=CostBreakdown)
+    call_overhead_cycles: Cycles = 20.0
+
+    @property
+    def cycles(self) -> Cycles:
+        """Total cycles charged so far."""
+        return self.counters.cycles
+
+    def charge(self, label: str, cycles: Cycles) -> None:
+        """Charge raw cycles under a breakdown label."""
+        self.counters.charge(cycles)
+        self.breakdown.add(label, cycles)
+
+    def note(self, label: str, cycles: Cycles) -> None:
+        """Record a breakdown entry for cycles already counted."""
+        self.breakdown.add(label, cycles)
+
+    def seconds(self) -> float:
+        """Wall-clock seconds of the charged total on this platform."""
+        return self.platform.seconds(self.counters.cycles)
+
+    def render_breakdown(self, top: int = 10) -> str:
+        """A human-readable table of the largest cost components.
+
+        Shows up to *top* labels by cycles with their share of the
+        total — what the examples print when explaining where a
+        configuration's time went.
+        """
+        parts = sorted(
+            self.breakdown.parts.items(), key=lambda item: -item[1]
+        )[: max(top, 0)]
+        total = self.breakdown.total or 1.0
+        lines = [
+            f"{label:<40s} {cycles / self.platform.cpu.frequency_hz * 1e3:10.4f} ms "
+            f"{cycles / total * 100:5.1f}%"
+            for label, cycles in parts
+        ]
+        return "\n".join(lines)
+
+    def fork(self) -> "ExecutionContext":
+        """A context sharing platform/policy but with fresh counters."""
+        return ExecutionContext(
+            platform=self.platform,
+            threading=self.threading,
+            call_overhead_cycles=self.call_overhead_cycles,
+        )

@@ -1,0 +1,72 @@
+"""Threading policies: the paper's single- vs. multi-threaded series.
+
+The paper's multi-threaded host runs fix 8 threads with *blockwise
+partitioning*: "each thread operates on one exclusive and subsequent
+list of input positions".  :func:`blockwise_partition` reproduces that
+split; :class:`ThreadingPolicy` carries the thread count into the CPU
+model's :meth:`~repro.hardware.cpu.CPUModel.parallelize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+__all__ = [
+    "ThreadingPolicy",
+    "SINGLE_THREADED",
+    "MULTI_THREADED_8",
+    "blockwise_partition",
+]
+
+
+@dataclass(frozen=True)
+class ThreadingPolicy:
+    """How a host operator spreads its work over worker threads."""
+
+    name: str
+    threads: int
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ExecutionError(f"threads must be >= 1, got {self.threads}")
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when thread management is involved at all."""
+        return self.threads > 1
+
+
+#: The paper's sequential baseline ("no thread management involved at all").
+SINGLE_THREADED = ThreadingPolicy("single-threaded", 1)
+
+#: The paper's parallel host configuration (8 threads, blockwise).
+MULTI_THREADED_8 = ThreadingPolicy("multi-threaded", 8)
+
+
+def blockwise_partition(count: int, threads: int) -> list[tuple[int, int]]:
+    """Split ``[0, count)`` into *threads* exclusive, subsequent blocks.
+
+    Returns ``(start, stop)`` half-open pairs; earlier blocks get the
+    remainder, matching the usual blockwise scheme.  Fewer blocks than
+    *threads* are returned when there is not enough work.
+
+    >>> blockwise_partition(10, 4)
+    [(0, 3), (3, 6), (6, 8), (8, 10)]
+    """
+    if count < 0:
+        raise ExecutionError(f"count must be >= 0, got {count}")
+    if threads < 1:
+        raise ExecutionError(f"threads must be >= 1, got {threads}")
+    if count == 0:
+        return []
+    blocks = min(threads, count)
+    base, extra = divmod(count, blocks)
+    partitions: list[tuple[int, int]] = []
+    cursor = 0
+    for index in range(blocks):
+        size = base + (1 if index < extra else 0)
+        partitions.append((cursor, cursor + size))
+        cursor += size
+    return partitions

@@ -1,0 +1,34 @@
+"""Simulated heterogeneous hardware: CPU, caches, GPU, PCIe, memories."""
+
+from repro.hardware.cache import (
+    AnalyticMemoryModel,
+    CacheGeometry,
+    CacheHierarchy,
+    CacheLevel,
+)
+from repro.hardware.cpu import CPUModel
+from repro.hardware.disk import DiskModel
+from repro.hardware.event import CostBreakdown, Cycles, PerfCounters
+from repro.hardware.gpu import GPUModel, KernelLaunch
+from repro.hardware.interconnect import InterconnectModel
+from repro.hardware.memory import Allocation, MemoryKind, MemorySpace
+from repro.hardware.platform import Platform
+
+__all__ = [
+    "Cycles",
+    "PerfCounters",
+    "CostBreakdown",
+    "MemoryKind",
+    "MemorySpace",
+    "Allocation",
+    "CacheGeometry",
+    "CacheLevel",
+    "CacheHierarchy",
+    "AnalyticMemoryModel",
+    "CPUModel",
+    "DiskModel",
+    "GPUModel",
+    "KernelLaunch",
+    "InterconnectModel",
+    "Platform",
+]

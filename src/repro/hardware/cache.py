@@ -1,0 +1,341 @@
+"""Cache hierarchy simulation: trace-driven and analytic.
+
+Figure 2's storage-model effects are cache-residency effects, so this
+module is the heart of the hardware substitution.  It provides two
+views of the same machine:
+
+* :class:`CacheHierarchy` — a trace-driven, set-associative LRU
+  simulator with a next-line stream prefetcher.  Exact, but too slow for
+  the paper's 85-million-row sweeps in pure Python.
+* :class:`AnalyticMemoryModel` — closed-form costs for the three access
+  patterns the paper's operators generate (sequential streams, strided
+  scans, random point accesses).  Fast enough for the full sweeps.
+
+The test suite drives both over identical access patterns on small
+inputs and asserts they agree within a tolerance, which is what licenses
+using the analytic model for the big benchmark sweeps (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.hardware.event import Cycles, PerfCounters
+
+__all__ = [
+    "CacheGeometry",
+    "CacheLevel",
+    "CacheHierarchy",
+    "AnalyticMemoryModel",
+]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Static description of one cache level."""
+
+    name: str
+    size: int  # total bytes
+    line: int  # line size in bytes
+    ways: int  # associativity
+    latency: Cycles  # hit latency in cycles
+
+    def __post_init__(self) -> None:
+        if self.size % (self.line * self.ways) != 0:
+            raise StorageError(
+                f"{self.name}: size {self.size} not divisible by "
+                f"line*ways = {self.line * self.ways}"
+            )
+
+    @property
+    def sets(self) -> int:
+        """Number of cache sets."""
+        return self.size // (self.line * self.ways)
+
+
+class CacheLevel:
+    """One set-associative cache level with LRU replacement."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        # Per set: list of tags in LRU order (front = least recent).
+        self._sets: list[list[int]] = [[] for _ in range(geometry.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line_address: int) -> bool:
+        """Touch one cache line; returns True on hit.
+
+        *line_address* is the address divided by the line size (a line
+        number, not a byte address), so hierarchies with equal line
+        sizes can share traces.
+        """
+        geometry = self.geometry
+        set_index = line_address % geometry.sets
+        tag = line_address // geometry.sets
+        lru = self._sets[set_index]
+        if tag in lru:
+            lru.remove(tag)
+            lru.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        lru.append(tag)
+        if len(lru) > geometry.ways:
+            lru.pop(0)
+        return False
+
+    def flush(self) -> None:
+        """Drop all cached lines (keeps hit/miss counts)."""
+        for lru in self._sets:
+            lru.clear()
+
+
+class CacheHierarchy:
+    """A trace-driven multi-level cache with a stream prefetcher.
+
+    ``access(address, size)`` charges the cycle cost of touching
+    ``size`` bytes at ``address``: each covered line is looked up level
+    by level; the first hit level's latency is charged, or the memory
+    latency on a full miss.  Consecutive-line streams are detected per
+    access stream and the prefetcher converts subsequent misses in the
+    stream into bandwidth-priced hits (modelling the hardware stream
+    prefetcher hiding latency on sequential scans).
+    """
+
+    def __init__(
+        self,
+        levels: tuple[CacheGeometry, ...],
+        memory_latency: Cycles,
+        line_bandwidth_cycles: Cycles,
+        prefetch_window: int = 4,
+    ) -> None:
+        if not levels:
+            raise StorageError("a cache hierarchy needs at least one level")
+        line = levels[0].line
+        if any(level.line != line for level in levels):
+            raise StorageError("all cache levels must share one line size")
+        self.line = line
+        self.levels = tuple(CacheLevel(geometry) for geometry in levels)
+        self.memory_latency = memory_latency
+        self.line_bandwidth_cycles = line_bandwidth_cycles
+        self.prefetch_window = prefetch_window
+        self._last_line: int | None = None
+        self._stream_run = 0
+
+    # ------------------------------------------------------------------
+    def access(self, address: int, size: int, counters: PerfCounters) -> Cycles:
+        """Charge the cost of touching ``[address, address+size)``."""
+        if size <= 0:
+            raise StorageError(f"access size must be positive, got {size}")
+        first = address // self.line
+        last = (address + size - 1) // self.line
+        cost: Cycles = 0.0
+        for line_address in range(first, last + 1):
+            cost += self._access_line(line_address, counters)
+        counters.bytes_read += size
+        return cost
+
+    def _access_line(self, line_address: int, counters: PerfCounters) -> Cycles:
+        sequential = (
+            self._last_line is not None and line_address == self._last_line + 1
+        )
+        if sequential:
+            self._stream_run += 1
+        elif self._last_line is not None and line_address == self._last_line:
+            pass  # same line: keep the stream alive
+        else:
+            self._stream_run = 0
+        self._last_line = line_address
+
+        for depth, level in enumerate(self.levels):
+            if level.access(line_address):
+                self._count(depth, hit=True, counters=counters)
+                cost = level.geometry.latency
+                counters.cycles += cost
+                return cost
+            self._count(depth, hit=False, counters=counters)
+        # Full miss: memory. A live stream (>= prefetch_window consecutive
+        # lines) is served at bandwidth price — the prefetcher has hidden
+        # the latency behind the previous lines.
+        if self._stream_run >= self.prefetch_window:
+            cost = self.line_bandwidth_cycles
+        else:
+            cost = self.memory_latency
+        counters.cycles += cost
+        return cost
+
+    def _count(self, depth: int, hit: bool, counters: PerfCounters) -> None:
+        if depth == 0:
+            counters.l1_hits += hit
+            counters.l1_misses += not hit
+        elif depth == 1:
+            counters.l2_hits += hit
+            counters.l2_misses += not hit
+        else:
+            counters.l3_hits += hit
+            counters.l3_misses += not hit
+
+    def flush(self) -> None:
+        """Empty every level and forget stream state."""
+        for level in self.levels:
+            level.flush()
+        self._last_line = None
+        self._stream_run = 0
+
+
+@dataclass(frozen=True)
+class AnalyticMemoryModel:
+    """Closed-form memory costs for the paper's three access shapes.
+
+    Parameters mirror the trace-driven hierarchy: line size, last-level
+    cache (LLC) capacity, per-level latencies, memory latency, and the
+    per-line bandwidth price for prefetched streams.  ``mlp`` is the
+    memory-level parallelism an out-of-order core extracts from
+    independent misses (latency is divided by it for strided/random
+    patterns with many outstanding accesses).
+
+    The TLB term models why Figure 2's point-query panels still grow
+    slowly with table size: once the footprint exceeds the second-level
+    TLB's coverage, every random access pays a page walk whose cost
+    grows with the page-table working set.
+    """
+
+    line: int = 64
+    llc_size: int = 6 * 1024 * 1024
+    l1_latency: Cycles = 4.0
+    l2_latency: Cycles = 12.0
+    l3_latency: Cycles = 42.0
+    memory_latency: Cycles = 200.0
+    line_bandwidth_cycles: Cycles = 16.6  # 64 B / ~10 GB/s at 2.6 GHz
+    mlp: float = 4.0
+    stlb_coverage: int = 1536 * 4096  # 1536 entries x 4 KiB pages
+    page_walk_base: Cycles = 30.0
+
+    # ------------------------------------------------------------------
+    # Access shapes
+    # ------------------------------------------------------------------
+    def sequential(self, nbytes: int, counters: PerfCounters | None = None) -> Cycles:
+        """Streaming over *nbytes* of contiguous memory (prefetched).
+
+        Cost is bandwidth-bound: one ``line_bandwidth_cycles`` per line,
+        plus a short latency ramp for the first lines before the stream
+        prefetcher locks on.
+        """
+        if nbytes <= 0:
+            return 0.0
+        lines = math.ceil(nbytes / self.line)
+        ramp_lines = min(lines, 4)
+        steady_lines = lines - ramp_lines
+        cost = ramp_lines * self.memory_latency / self.mlp
+        cost += steady_lines * self.line_bandwidth_cycles
+        if counters is not None:
+            counters.cycles += cost
+            counters.bytes_read += nbytes
+            counters.l1_misses += lines
+        return cost
+
+    def strided(
+        self,
+        count: int,
+        stride: int,
+        touched: int,
+        footprint: int,
+        counters: PerfCounters | None = None,
+    ) -> Cycles:
+        """*count* accesses of *touched* bytes each, *stride* bytes apart.
+
+        This is the NSM full-table scan reading one field per record:
+        the hardware still pulls whole lines, so the effective traffic
+        is one line (or more) per record once the stride exceeds the
+        line size.  For sub-line strides the pattern degenerates to a
+        sequential stream.
+        """
+        if count <= 0:
+            return 0.0
+        if stride <= self.line:
+            return self.sequential(count * stride, counters)
+        lines_per_access = self._span_lines(touched)
+        # Strided streams with constant stride are still prefetchable by
+        # modern stream prefetchers, but every line is a distinct memory
+        # line: traffic = count * lines. Latency is partially hidden.
+        miss_fraction = self._capacity_miss_fraction(footprint)
+        per_line = (
+            miss_fraction * max(self.line_bandwidth_cycles, self.memory_latency / self.mlp)
+            + (1.0 - miss_fraction) * self.l3_latency
+        )
+        cost = count * lines_per_access * per_line
+        if counters is not None:
+            counters.cycles += cost
+            counters.bytes_read += count * lines_per_access * self.line
+            counters.l1_misses += count * lines_per_access
+            counters.l3_misses += int(count * lines_per_access * miss_fraction)
+        return cost
+
+    def random(
+        self,
+        count: int,
+        touched: int,
+        footprint: int,
+        counters: PerfCounters | None = None,
+    ) -> Cycles:
+        """*count* point accesses of *touched* bytes at random positions.
+
+        Each access pays the full miss chain with probability set by the
+        footprint/LLC ratio, plus a TLB page-walk term once the
+        footprint exceeds second-level TLB coverage.
+        """
+        if count <= 0:
+            return 0.0
+        lines_per_access = self._span_lines(touched)
+        miss_fraction = self._capacity_miss_fraction(footprint)
+        per_line = (
+            miss_fraction * self.memory_latency / min(self.mlp, lines_per_access + 1.0)
+            + (1.0 - miss_fraction) * self.l3_latency
+        )
+        walk = self.page_walk_cost(footprint)
+        cost = count * (lines_per_access * per_line + walk)
+        if counters is not None:
+            counters.cycles += cost
+            counters.bytes_read += count * lines_per_access * self.line
+            counters.l1_misses += count * lines_per_access
+            counters.l3_misses += int(count * lines_per_access * miss_fraction)
+            counters.tlb_misses += count if footprint > self.stlb_coverage else 0
+        return cost
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def page_walk_cost(self, footprint: int) -> Cycles:
+        """Average page-walk cycles per random access at *footprint*.
+
+        Zero while the footprint fits the STLB; beyond that the walk
+        cost grows with the logarithm of the page count, modelling the
+        shrinking cache-residency of page-table entries.
+        """
+        if footprint <= self.stlb_coverage:
+            return 0.0
+        pages = footprint / 4096.0
+        return self.page_walk_base * (1.0 + 0.15 * math.log2(pages))
+
+    def _capacity_miss_fraction(self, footprint: int) -> float:
+        """Probability that a random line of *footprint* is not LLC-resident."""
+        if footprint <= 0:
+            return 0.0
+        return max(0.0, min(1.0, 1.0 - self.llc_size / footprint))
+
+    def _span_lines(self, touched: int) -> int:
+        """Average cache lines covered by *touched* bytes at a random offset.
+
+        A ``touched``-byte object at a uniformly random alignment spans
+        ``ceil(touched/line)`` lines plus an extra straddle line with
+        probability ``(touched - 1) % line / line``; we round to the
+        expected value to keep the model closed-form.
+        """
+        if touched <= 0:
+            return 0
+        base = math.ceil(touched / self.line)
+        straddle = ((touched - 1) % self.line) / self.line
+        return max(1, round(base + straddle - 0.5) or 1)

@@ -1,0 +1,63 @@
+"""Disk cost model for the disk-based engines (PAX, Fractured Mirrors).
+
+Both 2002-era engines in the survey are "designed for disk-based
+systems powered by a database buffer manager"; their data-location row
+in Table 1 is "Host + Disc".  The model is a rotating disk: a seek+
+rotational latency per random page access, plus sequential bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.hardware.event import Cycles, PerfCounters
+
+__all__ = ["DiskModel"]
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Latency + bandwidth of one spindle.
+
+    Attributes
+    ----------
+    bandwidth:
+        Sequential transfer rate in bytes/second.
+    seek_s:
+        Average seek + rotational latency per random access in seconds.
+    host_frequency_hz:
+        Host clock used to express costs in host cycles.
+    """
+
+    bandwidth: float = 150.0e6
+    seek_s: float = 5.0e-3
+    host_frequency_hz: float = 2.6e9
+
+    def random_read_cost(
+        self, nbytes: int, counters: PerfCounters | None = None
+    ) -> Cycles:
+        """One random page read: a seek plus the transfer."""
+        if nbytes < 0:
+            raise StorageError(f"read size must be >= 0, got {nbytes}")
+        seconds = self.seek_s + nbytes / self.bandwidth
+        cost = seconds * self.host_frequency_hz
+        if counters is not None:
+            counters.cycles += cost
+            counters.bytes_read += nbytes
+        return cost
+
+    def sequential_read_cost(
+        self, nbytes: int, counters: PerfCounters | None = None
+    ) -> Cycles:
+        """A sequential read: one seek amortized over the whole stream."""
+        if nbytes < 0:
+            raise StorageError(f"read size must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        seconds = self.seek_s + nbytes / self.bandwidth
+        cost = seconds * self.host_frequency_hz
+        if counters is not None:
+            counters.cycles += cost
+            counters.bytes_read += nbytes
+        return cost

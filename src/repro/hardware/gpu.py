@@ -1,0 +1,145 @@
+"""Analytic GPU model: occupancy, launches, tree reduction, bandwidth.
+
+Substitutes for the paper's CUDA capability-5.0 device (5 SMs x 128
+cores, 2 MB L2, 4044 MB global memory).  The only device workload in
+Figure 2 is the Harris-style parallel reduction (sum of the item
+table's price column), launched with >= 1024 blocks of 512 threads and
+a final 1-block/1024-thread pass — so the model focuses on what decides
+that kernel's runtime: device memory bandwidth, occupancy-limited
+compute throughput, and per-launch latency.
+
+All returned costs are **host cycles** (converted via the host clock)
+so they compose with the CPU and PCIe models on one timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.hardware.event import Cycles, PerfCounters
+
+__all__ = ["GPUModel", "KernelLaunch"]
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """Geometry of one kernel launch (for reports and validation)."""
+
+    blocks: int
+    threads_per_block: int
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1 or self.threads_per_block < 1:
+            raise ExecutionError(
+                f"invalid launch geometry {self.blocks}x{self.threads_per_block}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        """Threads across all blocks."""
+        return self.blocks * self.threads_per_block
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Cost model of the discrete graphics device.
+
+    Attributes
+    ----------
+    sms:
+        Streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM.
+    clock_hz:
+        Device core clock.
+    device_bandwidth:
+        Global-memory bandwidth in bytes/second.
+    launch_latency_s:
+        Host-visible latency of one kernel launch in seconds.
+    max_threads_per_block:
+        Hardware limit (1024 on the paper's device).
+    host_frequency_hz:
+        Host clock used to convert device time into host cycles.
+    """
+
+    sms: int = 5
+    cores_per_sm: int = 128
+    clock_hz: float = 1.1e9
+    device_bandwidth: float = 80.0e9
+    launch_latency_s: float = 5.0e-6
+    max_threads_per_block: int = 1024
+    host_frequency_hz: float = 2.6e9
+
+    @property
+    def total_cores(self) -> int:
+        """CUDA cores across the device."""
+        return self.sms * self.cores_per_sm
+
+    @property
+    def launch_latency_cycles(self) -> Cycles:
+        """One launch's latency in host cycles."""
+        return self.launch_latency_s * self.host_frequency_hz
+
+    def seconds_to_host_cycles(self, seconds: float) -> Cycles:
+        """Convert device wall time into host cycles."""
+        return seconds * self.host_frequency_hz
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def streaming_kernel_seconds(self, nbytes: int, ops: int, ops_per_element: float = 1.0) -> float:
+        """Device time of a kernel streaming *nbytes* and doing *ops* adds.
+
+        The kernel is modelled as the max of its bandwidth time and its
+        occupancy-limited compute time (classic roofline): reductions on
+        8-byte elements are bandwidth-bound on this device.
+        """
+        bandwidth_time = nbytes / self.device_bandwidth
+        compute_time = (ops * ops_per_element) / (self.total_cores * self.clock_hz)
+        return max(bandwidth_time, compute_time)
+
+    def reduction_cost(
+        self,
+        count: int,
+        element_width: int,
+        counters: PerfCounters | None = None,
+        min_blocks: int = 1024,
+        threads_per_block: int = 512,
+    ) -> Cycles:
+        """Host-cycle cost of the paper's two-pass parallel reduction.
+
+        Pass 1 launches ``max(min_blocks, ceil(count / (2*threads)))``
+        blocks that reduce the input to one partial per block; pass 2
+        reduces the partials with a single 1024-thread block.  Each pass
+        pays one kernel-launch latency.  Returns 0 for an empty input
+        (no launch is issued).
+        """
+        if count < 0:
+            raise ExecutionError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return 0.0
+        if threads_per_block > self.max_threads_per_block:
+            raise ExecutionError(
+                f"{threads_per_block} threads/block exceeds device limit "
+                f"{self.max_threads_per_block}"
+            )
+        blocks = max(min_blocks, math.ceil(count / (2 * threads_per_block)))
+        pass1 = KernelLaunch(blocks, threads_per_block)
+        pass2 = KernelLaunch(1, self.max_threads_per_block)
+
+        pass1_seconds = self.streaming_kernel_seconds(
+            nbytes=count * element_width, ops=count
+        )
+        pass2_seconds = self.streaming_kernel_seconds(
+            nbytes=pass1.blocks * element_width, ops=pass1.blocks
+        )
+        total_seconds = pass1_seconds + pass2_seconds + 2 * self.launch_latency_s
+        cost = self.seconds_to_host_cycles(total_seconds)
+        if counters is not None:
+            counters.cycles += cost
+            counters.device_cycles += total_seconds * self.clock_hz
+            counters.kernel_launches += 2
+            counters.bytes_read += count * element_width
+        return cost

@@ -1,0 +1,53 @@
+"""PCIe interconnect model: the host<->device transfer cost.
+
+Challenge (a.i) of the paper — "expensive data transfer to and from the
+device memory" — reduces to this model.  Figure 2's panels 3 and 4
+differ only in whether this cost is charged, and that difference flips
+which platform wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.hardware.event import Cycles, PerfCounters
+
+__all__ = ["InterconnectModel"]
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Latency + bandwidth model of the host<->device link.
+
+    Attributes
+    ----------
+    bandwidth:
+        Effective transfer bandwidth in bytes/second (PCIe 3.0 on a
+        mobile platform delivers well under its nominal rate; 6 GB/s is
+        a representative effective figure).
+    latency_s:
+        Per-transfer setup latency in seconds (driver + DMA setup).
+    host_frequency_hz:
+        Host clock used to express costs in host cycles.
+    """
+
+    bandwidth: float = 6.0e9
+    latency_s: float = 10.0e-6
+    host_frequency_hz: float = 2.6e9
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Wall time of moving *nbytes* across the link once."""
+        if nbytes < 0:
+            raise ExecutionError(f"transfer size must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth
+
+    def transfer_cost(self, nbytes: int, counters: PerfCounters | None = None) -> Cycles:
+        """Host-cycle cost of one host->device (or device->host) copy."""
+        cost = self.transfer_seconds(nbytes) * self.host_frequency_hz
+        if counters is not None and nbytes > 0:
+            counters.cycles += cost
+            counters.bytes_transferred += nbytes
+        return cost

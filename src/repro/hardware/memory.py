@@ -1,0 +1,148 @@
+"""Simulated memory spaces (host, device, disk).
+
+A :class:`MemorySpace` is a byte-addressed address space with a
+capacity limit and an allocator.  It carries **no payload bytes** — the
+data plane lives in fragment objects as numpy arrays; the memory space
+exists so that (a) linearizations yield *real addresses* the cache
+simulator can trace, (b) device capacity limits are enforced (CoGaDB's
+all-or-nothing placement, GPUTx's device residency), and (c) the
+taxonomy's *data location* axis is observable from where an engine's
+fragments are allocated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, StorageError
+
+__all__ = ["MemoryKind", "Allocation", "MemorySpace"]
+
+
+class MemoryKind(enum.Enum):
+    """Which physical medium a memory space models."""
+
+    HOST = "host"
+    DEVICE = "device"
+    DISK = "disk"
+
+    @property
+    def is_host(self) -> bool:
+        """True for main (host) memory."""
+        return self is MemoryKind.HOST
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A contiguous allocated region inside a memory space.
+
+    Attributes
+    ----------
+    space:
+        Owning memory space.
+    base:
+        First byte address of the region.
+    size:
+        Region length in bytes.
+    label:
+        Free-form tag (e.g. ``"item.price"``) used in reports.
+    """
+
+    space: "MemorySpace"
+    base: int
+    size: int
+    label: str
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address."""
+        return self.base + self.size
+
+    def address_of(self, offset: int) -> int:
+        """Absolute address of byte *offset* inside the region."""
+        if not 0 <= offset < self.size:
+            raise StorageError(
+                f"offset {offset} outside allocation {self.label!r} of {self.size} bytes"
+            )
+        return self.base + offset
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.label}@{self.space.name}[{self.base}:{self.end}]"
+
+
+class MemorySpace:
+    """A capacity-limited, byte-addressed address space.
+
+    Allocation is a bump allocator with explicit free: freed bytes are
+    returned to the capacity budget but addresses are never reused, so
+    every allocation in a simulation run has a unique address range —
+    convenient for cache tracing, and adequate because fragmentation is
+    not a phenomenon this reproduction studies.
+    """
+
+    def __init__(self, name: str, kind: MemoryKind, capacity: int) -> None:
+        if capacity <= 0:
+            raise StorageError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.kind = kind
+        self.capacity = capacity
+        self._cursor = 0
+        self._used = 0
+        self._live: dict[int, Allocation] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, size: int, label: str = "") -> Allocation:
+        """Reserve *size* bytes; raises :class:`CapacityError` when full.
+
+        Zero-size allocations are allowed (an empty fragment still has an
+        address) and consume one byte of address space but no capacity.
+        """
+        if size < 0:
+            raise StorageError(f"allocation size must be >= 0, got {size}")
+        if self._used + size > self.capacity:
+            raise CapacityError(
+                f"{self.name}: cannot allocate {size} bytes "
+                f"({self.available} of {self.capacity} available)"
+            )
+        allocation = Allocation(self, self._cursor, size, label)
+        self._cursor += max(size, 1)
+        self._used += size
+        self._live[allocation.base] = allocation
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Release a live allocation back to the capacity budget."""
+        live = self._live.pop(allocation.base, None)
+        if live is None or live is not allocation:
+            raise StorageError(
+                f"{self.name}: allocation {allocation.label!r} is not live"
+            )
+        self._used -= allocation.size
+
+    def fits(self, size: int) -> bool:
+        """Whether *size* bytes could currently be allocated."""
+        return self._used + size <= self.capacity
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def available(self) -> int:
+        """Bytes still allocatable."""
+        return self.capacity - self._used
+
+    @property
+    def live_allocations(self) -> tuple[Allocation, ...]:
+        """All currently live allocations (insertion order)."""
+        return tuple(self._live.values())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.kind.value}, {self._used}/{self.capacity}B)"

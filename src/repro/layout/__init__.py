@@ -1,0 +1,41 @@
+"""Section III formalized: regions, fragments, layouts, linearization."""
+
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import (
+    LinearizationKind,
+    dsm_field_offset,
+    dsm_serialize,
+    nsm_field_offset,
+    nsm_serialize,
+)
+from repro.layout.partitioning import (
+    PartitioningOrder,
+    composite_partition,
+    horizontal_partition,
+    one_region_per_attribute,
+    vertical_partition,
+)
+from repro.layout.properties import (
+    LinearizationProperty,
+    derive_linearization_property,
+)
+from repro.layout.region import Region
+
+__all__ = [
+    "Region",
+    "Fragment",
+    "Layout",
+    "LinearizationKind",
+    "nsm_serialize",
+    "dsm_serialize",
+    "nsm_field_offset",
+    "dsm_field_offset",
+    "PartitioningOrder",
+    "vertical_partition",
+    "horizontal_partition",
+    "composite_partition",
+    "one_region_per_attribute",
+    "LinearizationProperty",
+    "derive_linearization_property",
+]

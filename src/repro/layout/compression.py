@@ -1,0 +1,226 @@
+"""Columnar compression codecs for read-only (base) fragments.
+
+Two survey threads motivate this substrate: DSM's "improved compression
+rates" (Abadi et al., cited in Section II-A) and L-Store's "read-only
+(and compressed) base page part".  Three classic lightweight codecs are
+provided, all supporting O(1)/O(log n) random access so point reads
+need not decompress the column:
+
+* :class:`DictionaryCodec` — distinct values + narrow codes (strings,
+  low-cardinality attributes);
+* :class:`RunLengthCodec` — (run start, value) pairs (sorted or
+  near-constant columns);
+* :class:`FrameOfReferenceCodec` — a base value + narrow offsets
+  (clustered integers, e.g. dates or sequential keys).
+
+:func:`choose_codec` picks the smallest encoding (including "keep
+uncompressed") — the standard lightweight-compression selection rule.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = [
+    "CompressedColumn",
+    "CompressionCodec",
+    "DictionaryCodec",
+    "RunLengthCodec",
+    "FrameOfReferenceCodec",
+    "ALL_CODECS",
+    "choose_codec",
+]
+
+
+def _narrowest_uint(max_value: int) -> np.dtype:
+    """The smallest unsigned dtype that can hold *max_value*."""
+    for dtype in ("u1", "u2", "u4"):
+        if max_value <= np.iinfo(np.dtype(dtype)).max:
+            return np.dtype(dtype)
+    return np.dtype("u8")
+
+
+@dataclass(frozen=True)
+class CompressedColumn:
+    """One encoded column: codec + payload arrays + original metadata."""
+
+    codec: "CompressionCodec"
+    payload: tuple[np.ndarray, ...]
+    count: int
+    original_dtype: np.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed payload size in bytes."""
+        return sum(int(part.nbytes) for part in self.payload)
+
+    @property
+    def original_nbytes(self) -> int:
+        """Uncompressed size in bytes."""
+        return self.count * self.original_dtype.itemsize
+
+    @property
+    def ratio(self) -> float:
+        """original/compressed size (>1 means the codec helped)."""
+        if self.nbytes == 0:
+            return float("inf") if self.original_nbytes else 1.0
+        return self.original_nbytes / self.nbytes
+
+    def decode(self) -> np.ndarray:
+        """The full column, decompressed."""
+        return self.codec.decode(self)
+
+    def decode_at(self, index: int) -> object:
+        """Random access to one value without full decompression."""
+        if not 0 <= index < self.count:
+            raise StorageError(f"index {index} outside column of {self.count}")
+        return self.codec.decode_at(self, index)
+
+
+class CompressionCodec(abc.ABC):
+    """A lightweight columnar codec."""
+
+    name: str = "abstract"
+    #: ALU cycles to decode one value during a scan (vectorized).
+    decode_cycles_per_value: float = 1.0
+
+    @abc.abstractmethod
+    def encode(self, values: np.ndarray) -> CompressedColumn:
+        """Encode a column; raises StorageError when inapplicable."""
+
+    @abc.abstractmethod
+    def decode(self, column: CompressedColumn) -> np.ndarray:
+        """Decode the full column."""
+
+    @abc.abstractmethod
+    def decode_at(self, column: CompressedColumn, index: int) -> object:
+        """Decode one value."""
+
+
+class DictionaryCodec(CompressionCodec):
+    """Distinct values + per-row codes of the narrowest width."""
+
+    name = "dictionary"
+    decode_cycles_per_value = 0.5  # SIMD gather from a cache-resident dict
+
+    def encode(self, values: np.ndarray) -> CompressedColumn:
+        dictionary, codes = np.unique(values, return_inverse=True)
+        codes = codes.astype(_narrowest_uint(max(len(dictionary) - 1, 0)))
+        return CompressedColumn(
+            codec=self,
+            payload=(dictionary, codes),
+            count=len(values),
+            original_dtype=values.dtype,
+        )
+
+    def decode(self, column: CompressedColumn) -> np.ndarray:
+        dictionary, codes = column.payload
+        return dictionary[codes]
+
+    def decode_at(self, column: CompressedColumn, index: int) -> object:
+        dictionary, codes = column.payload
+        return dictionary[codes[index]]
+
+
+class RunLengthCodec(CompressionCodec):
+    """Run starts + run values; random access via binary search."""
+
+    name = "run-length"
+    decode_cycles_per_value = 0.1  # runs expand in bulk stores
+
+    def encode(self, values: np.ndarray) -> CompressedColumn:
+        if len(values) == 0:
+            starts = np.empty(0, dtype="u8")
+            run_values = values.copy()
+        else:
+            change = np.empty(len(values), dtype=bool)
+            change[0] = True
+            change[1:] = values[1:] != values[:-1]
+            starts = np.flatnonzero(change).astype(
+                _narrowest_uint(max(len(values) - 1, 0))
+            )
+            run_values = values[change]
+        return CompressedColumn(
+            codec=self,
+            payload=(starts, run_values),
+            count=len(values),
+            original_dtype=values.dtype,
+        )
+
+    def decode(self, column: CompressedColumn) -> np.ndarray:
+        starts, run_values = column.payload
+        if column.count == 0:
+            return run_values.copy()
+        lengths = np.diff(np.append(starts.astype("i8"), column.count))
+        return np.repeat(run_values, lengths)
+
+    def decode_at(self, column: CompressedColumn, index: int) -> object:
+        starts, run_values = column.payload
+        run = int(np.searchsorted(starts, index, side="right")) - 1
+        return run_values[run]
+
+
+class FrameOfReferenceCodec(CompressionCodec):
+    """min(values) + offsets in the narrowest unsigned width (ints only)."""
+
+    name = "frame-of-reference"
+    decode_cycles_per_value = 0.5  # SIMD widen + add
+
+    def encode(self, values: np.ndarray) -> CompressedColumn:
+        if values.dtype.kind not in ("i", "u"):
+            raise StorageError(
+                f"{self.name}: integer columns only, got {values.dtype}"
+            )
+        if len(values) == 0:
+            base = np.zeros(1, dtype="i8")
+            offsets = np.empty(0, dtype="u1")
+        else:
+            low = int(values.min())
+            span = int(values.max()) - low
+            base = np.array([low], dtype="i8")
+            offsets = (values.astype("i8") - low).astype(_narrowest_uint(span))
+        return CompressedColumn(
+            codec=self,
+            payload=(base, offsets),
+            count=len(values),
+            original_dtype=values.dtype,
+        )
+
+    def decode(self, column: CompressedColumn) -> np.ndarray:
+        base, offsets = column.payload
+        return (offsets.astype("i8") + base[0]).astype(column.original_dtype)
+
+    def decode_at(self, column: CompressedColumn, index: int) -> object:
+        base, offsets = column.payload
+        return column.original_dtype.type(int(offsets[index]) + int(base[0]))
+
+
+ALL_CODECS: tuple[CompressionCodec, ...] = (
+    DictionaryCodec(),
+    RunLengthCodec(),
+    FrameOfReferenceCodec(),
+)
+
+
+def choose_codec(values: np.ndarray) -> CompressedColumn | None:
+    """The smallest applicable encoding, or None when nothing wins.
+
+    "Wins" means strictly smaller than the raw column — the selection
+    rule that keeps incompressible columns uncompressed.
+    """
+    best: CompressedColumn | None = None
+    for codec in ALL_CODECS:
+        try:
+            candidate = codec.encode(values)
+        except StorageError:
+            continue
+        if best is None or candidate.nbytes < best.nbytes:
+            best = candidate
+    if best is None or best.nbytes >= values.nbytes:
+        return None
+    return best

@@ -1,0 +1,101 @@
+"""Partitioning strategies: how layouts cut relations into regions.
+
+The taxonomy distinguishes *weak* flexibility (one partitioning
+technique per layout — all-vertical or all-horizontal) from *strong*
+flexibility (vertical and horizontal combined), and *constrained*
+strong flexibility (the combination order is pre-defined, as in HyPer's
+partitions-then-chunks or Peloton's tile-groups-then-tiles).
+
+These functions produce :class:`~repro.layout.region.Region` lists;
+engines turn regions into fragments.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.errors import LayoutError
+from repro.layout.region import Region
+from repro.model.relation import Relation
+
+__all__ = [
+    "PartitioningOrder",
+    "vertical_partition",
+    "horizontal_partition",
+    "composite_partition",
+    "one_region_per_attribute",
+]
+
+
+class PartitioningOrder(enum.Enum):
+    """Which cut a constrained strong-flexible layout applies first."""
+
+    VERTICAL_THEN_HORIZONTAL = "vertical-then-horizontal"  # HyPer
+    HORIZONTAL_THEN_VERTICAL = "horizontal-then-vertical"  # Peloton
+
+
+def vertical_partition(
+    relation: Relation, groups: Sequence[Sequence[str]]
+) -> list[Region]:
+    """Cut *relation* into full-height attribute groups (sub-relations).
+
+    *groups* must partition the schema's attributes exactly.
+    """
+    region = Region.full(relation)
+    return region.split_vertical([tuple(group) for group in groups])
+
+
+def horizontal_partition(relation: Relation, chunk_rows: int) -> list[Region]:
+    """Cut *relation* into full-width row chunks of *chunk_rows*.
+
+    An empty relation yields no regions.
+    """
+    if chunk_rows < 1:
+        raise LayoutError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    region = Region.full(relation)
+    if relation.row_count == 0:
+        return []
+    return region.split_horizontal(chunk_rows)
+
+
+def composite_partition(
+    relation: Relation,
+    groups: Sequence[Sequence[str]],
+    chunk_rows: int,
+    order: PartitioningOrder,
+) -> list[Region]:
+    """Apply both cuts in the given constrained order.
+
+    The resulting region *set* is the same grid either way; the order
+    matters because it constrains which boundaries dictate which (the
+    paper's "side-effects to adjacent fragments"), and because engines
+    group the grid differently (HyPer: chunks inside partitions;
+    Peloton: tiles inside tile groups).  Regions are returned grouped by
+    the outer cut.
+    """
+    if relation.row_count == 0:
+        return []
+    if order is PartitioningOrder.VERTICAL_THEN_HORIZONTAL:
+        outer = vertical_partition(relation, groups)
+        return [
+            chunk
+            for sub_relation in outer
+            for chunk in sub_relation.split_horizontal(chunk_rows)
+        ]
+    outer_regions = horizontal_partition(relation, chunk_rows)
+    result: list[Region] = []
+    for tile_group in outer_regions:
+        result.extend(tile_group.split_vertical([tuple(group) for group in groups]))
+    return result
+
+
+def one_region_per_attribute(relation: Relation) -> list[Region]:
+    """The DSM-emulation cut: one full-height region per attribute.
+
+    This is the shape of GPUTx's, CoGaDB's and L-Store's column sets
+    and of HyPer's vectors within a chunk.
+    """
+    return vertical_partition(
+        relation, [(name,) for name in relation.schema.names]
+    )

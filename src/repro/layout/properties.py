@@ -1,0 +1,135 @@
+"""Derivation of the fragment-linearization property (Figure 3 / 4).
+
+Table 1's "fragment linearization" column takes values like
+``fat, DSM-fixed`` or ``thin, DSM-emulated`` or
+``v. NSM-fixed p. DSM-emul.``.  This module derives that value from an
+engine's *actual fragments* plus two capability facts the fragments
+alone cannot show (which formats the engine can apply to fat fragments,
+and whether it may choose per fragment).  The survey test feeds every
+mini-engine a representative relation and asserts the derived property
+matches the paper's table.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+from repro.errors import ClassificationError
+from repro.layout.fragment import Fragment
+from repro.layout.linearization import LinearizationKind
+
+__all__ = ["LinearizationProperty", "derive_linearization_property"]
+
+
+class LinearizationProperty(enum.Enum):
+    """Leaf values of the taxonomy's fragment-linearization axis."""
+
+    DIRECT = "direct"
+    FAT_NSM_FIXED = "fat, NSM-fixed"
+    FAT_DSM_FIXED = "fat, DSM-fixed"
+    FAT_NSM_PLUS_DSM_FIXED = "fat, NSM+DSM-fixed"
+    FAT_VARIABLE = "fat, variable"
+    THIN_NSM_EMULATED = "thin, NSM-emulated"
+    THIN_DSM_EMULATED = "thin, DSM-emulated"
+    VARIABLE_NSM_FIXED_PARTIALLY_DSM_EMULATED = "v. NSM-fixed p. DSM-emul."
+    VARIABLE_DSM_FIXED_PARTIALLY_NSM_EMULATED = "v. DSM-fixed p. NSM-emul."
+
+    @property
+    def label(self) -> str:
+        """The Table 1 cell text."""
+        return self.value
+
+    @property
+    def covers_nsm_and_dsm(self) -> bool:
+        """Whether the property offers both storage models (requirement 4
+        of the paper's reference design: "fragmentation linearization
+        that cover NSM and DSM")."""
+        return self in (
+            LinearizationProperty.FAT_NSM_PLUS_DSM_FIXED,
+            LinearizationProperty.FAT_VARIABLE,
+            LinearizationProperty.VARIABLE_NSM_FIXED_PARTIALLY_DSM_EMULATED,
+            LinearizationProperty.VARIABLE_DSM_FIXED_PARTIALLY_NSM_EMULATED,
+        )
+
+
+def _thin_orientation(fragment: Fragment) -> str:
+    """'column' | 'row' | 'cell' for a thin fragment."""
+    region = fragment.region
+    if region.arity == 1 and region.row_count != 1:
+        return "column"
+    if region.row_count == 1 and region.arity != 1:
+        return "row"
+    return "cell"
+
+
+def derive_linearization_property(
+    fragments: Iterable[Fragment],
+    fat_formats: frozenset[LinearizationKind] | Sequence[LinearizationKind] = (),
+    per_fragment_choice: bool = False,
+    relation_arity: int | None = None,
+) -> LinearizationProperty:
+    """Classify a fragment population on the linearization axis.
+
+    Parameters
+    ----------
+    fragments:
+        The engine's fragments for one representative relation (all
+        layouts together, mirroring Table 1's per-engine cell).
+    fat_formats:
+        The formats the engine is *able* to apply to fat fragments —
+        needed to tell ``fat, variable`` from a coincidence where only
+        one format happens to be in use.
+    per_fragment_choice:
+        Whether the engine may pick the format freely per fat fragment
+        (HYRISE, Peloton) or only fix it per layout (Fractured Mirrors).
+    relation_arity:
+        Arity of the relation; a 1-attribute relation stores thin
+        columns with nothing to emulate, hence ``DIRECT``.
+    """
+    fragment_list = list(fragments)
+    if not fragment_list:
+        raise ClassificationError("cannot classify an empty fragment population")
+    fat_capability = frozenset(fat_formats)
+
+    fat = [fragment for fragment in fragment_list if fragment.region.is_fat]
+    thin = [fragment for fragment in fragment_list if fragment.region.is_thin]
+    orientations = {_thin_orientation(fragment) for fragment in thin}
+    orientations.discard("cell")
+
+    if fat and orientations:
+        fat_kinds = {fragment.linearization for fragment in fat}
+        # When the engine could have chosen either format per fat
+        # fragment, the partial emulation is incidental, not structural:
+        # the engine is simply variable (HYRISE vs. H2O distinction).
+        if len(fat_capability) >= 2 and per_fragment_choice:
+            return LinearizationProperty.FAT_VARIABLE
+        effective = fat_capability or frozenset(fat_kinds)
+        if effective == {LinearizationKind.NSM} and orientations == {"column"}:
+            return LinearizationProperty.VARIABLE_NSM_FIXED_PARTIALLY_DSM_EMULATED
+        if effective == {LinearizationKind.DSM} and orientations == {"row"}:
+            return LinearizationProperty.VARIABLE_DSM_FIXED_PARTIALLY_NSM_EMULATED
+        return LinearizationProperty.FAT_VARIABLE
+
+    if fat:
+        fat_kinds = {fragment.linearization for fragment in fat}
+        capability = fat_capability or frozenset(fat_kinds)
+        if len(capability) >= 2:
+            if per_fragment_choice:
+                return LinearizationProperty.FAT_VARIABLE
+            return LinearizationProperty.FAT_NSM_PLUS_DSM_FIXED
+        if capability == {LinearizationKind.NSM}:
+            return LinearizationProperty.FAT_NSM_FIXED
+        return LinearizationProperty.FAT_DSM_FIXED
+
+    # Thin-only populations: emulation (or nothing to emulate).
+    if relation_arity == 1 or not orientations:
+        return LinearizationProperty.DIRECT
+    if orientations == {"column"}:
+        return LinearizationProperty.THIN_DSM_EMULATED
+    if orientations == {"row"}:
+        return LinearizationProperty.THIN_NSM_EMULATED
+    raise ClassificationError(
+        "thin fragments mix row and column orientation without fat "
+        "fragments; no taxonomy leaf matches"
+    )

@@ -1,0 +1,126 @@
+"""Regions: the rectangular extent of a fragment.
+
+The paper defines a fragment as spanning a "gapless" region of data in
+a relation.  A :class:`Region` makes that precise: a contiguous row
+range crossed with an ordered subset of the relation's attributes.
+Rows must be contiguous (that is the gaplessness requirement);
+attributes may be any subset because vertical partitioning is free to
+regroup and reorder columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.model.relation import Relation, RowRange
+from repro.model.schema import Schema
+
+__all__ = ["Region"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A gapless rectangle of a relation: rows x attributes.
+
+    Attributes
+    ----------
+    rows:
+        Contiguous row range ``[start, stop)``.
+    attributes:
+        Ordered attribute names covered by the region.
+    """
+
+    rows: RowRange
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise LayoutError("a region must cover at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise LayoutError(f"region repeats attributes: {self.attributes}")
+
+    @classmethod
+    def full(cls, relation: Relation) -> "Region":
+        """The region covering the entire relation."""
+        return cls(relation.rows, relation.schema.names)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        """Number of rows covered."""
+        return self.rows.count
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes covered."""
+        return len(self.attributes)
+
+    @property
+    def cell_count(self) -> int:
+        """Rows x attributes: number of field values in the region."""
+        return self.row_count * self.arity
+
+    def schema_of(self, relation_schema: Schema) -> Schema:
+        """The region's own schema (projection of the relation's)."""
+        return relation_schema.project(self.attributes)
+
+    def contains(self, row: int, attribute: str) -> bool:
+        """Whether cell ``(row, attribute)`` falls in the region."""
+        return self.rows.contains(row) and attribute in self.attributes
+
+    def overlaps(self, other: "Region") -> bool:
+        """Whether the two regions share at least one cell."""
+        if not self.rows.overlaps(other.rows):
+            return False
+        return bool(set(self.attributes) & set(other.attributes))
+
+    # ------------------------------------------------------------------
+    # Fragment-shape predicates (Section III)
+    # ------------------------------------------------------------------
+    @property
+    def is_fat(self) -> bool:
+        """Fat iff >= 2 tuplets and >= 2 attributes (two-dimensional)."""
+        return self.row_count >= 2 and self.arity >= 2
+
+    @property
+    def is_thin(self) -> bool:
+        """Thin iff not fat (one-dimensional; needs no linearization)."""
+        return not self.is_fat
+
+    @property
+    def is_column(self) -> bool:
+        """A single-attribute region (a vertical sliver)."""
+        return self.arity == 1
+
+    @property
+    def is_row(self) -> bool:
+        """A single-row region (a horizontal sliver)."""
+        return self.row_count == 1
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_rows(self, rows: RowRange) -> "Region":
+        """Same attributes over a different row range."""
+        return Region(rows, self.attributes)
+
+    def split_horizontal(self, chunk_rows: int) -> list["Region"]:
+        """Split into consecutive row chunks of at most *chunk_rows*."""
+        return [self.with_rows(rows) for rows in self.rows.split(chunk_rows)]
+
+    def split_vertical(self, groups: list[tuple[str, ...]]) -> list["Region"]:
+        """Split into attribute groups (must partition the attributes)."""
+        flattened = [name for group in groups for name in group]
+        if sorted(flattened) != sorted(self.attributes):
+            raise LayoutError(
+                f"groups {groups} do not partition attributes {self.attributes}"
+            )
+        if any(not group for group in groups):
+            raise LayoutError("vertical split groups must be non-empty")
+        return [Region(self.rows, tuple(group)) for group in groups]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.rows}x{{{','.join(self.attributes)}}}"

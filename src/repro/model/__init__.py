@@ -1,0 +1,28 @@
+"""Relational substrate: fixed-width types, schemas, logical relations."""
+
+from repro.model.datatypes import FLOAT64, INT32, INT64, Char, DataType, char
+from repro.model.relation import Relation, RowRange
+from repro.model.schema import Attribute, Schema
+from repro.model.tuples import (
+    RecordCodec,
+    rows_to_structured,
+    structured_dtype,
+    structured_to_rows,
+)
+
+__all__ = [
+    "DataType",
+    "Char",
+    "char",
+    "INT32",
+    "INT64",
+    "FLOAT64",
+    "Attribute",
+    "Schema",
+    "Relation",
+    "RowRange",
+    "RecordCodec",
+    "structured_dtype",
+    "rows_to_structured",
+    "structured_to_rows",
+]

@@ -1,0 +1,165 @@
+"""Fixed-width data types for physical record layouts.
+
+The paper's Figure 2 experiments depend only on the *byte geometry* of
+records (a customer record is 96 bytes over 21 fields; an item record is
+20 bytes over 4 fields plus an 8-byte price).  Every type in this module
+therefore has a fixed width so that schemas can compute exact offsets,
+strides, and cache-line footprints — the quantities the hardware
+simulator consumes.
+
+Types know how to encode/decode Python values to/from ``bytes`` and how
+to map themselves onto a numpy dtype for the vectorized data plane.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "DataType",
+    "Int32",
+    "Int64",
+    "Float64",
+    "Char",
+    "INT32",
+    "INT64",
+    "FLOAT64",
+    "char",
+]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Base class for fixed-width types.
+
+    Attributes
+    ----------
+    name:
+        Human-readable type name (``"INT32"``, ``"CHAR(16)"``, ...).
+    width:
+        Exact storage width in bytes.  Offsets and strides are computed
+        from this; there is no padding or alignment beyond what the
+        schema adds explicitly.
+    """
+
+    name: str
+    width: int
+
+    def encode(self, value: Any) -> bytes:
+        """Serialize *value* to exactly :attr:`width` bytes."""
+        raise NotImplementedError
+
+    def decode(self, data: bytes) -> Any:
+        """Deserialize :attr:`width` bytes back to a Python value."""
+        raise NotImplementedError
+
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used by the vectorized data plane."""
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` if *value* does not fit this type."""
+        try:
+            self.encode(value)
+        except (struct.error, TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"value {value!r} does not fit type {self.name}: {exc}"
+            ) from exc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class Int32(DataType):
+    """Signed 32-bit little-endian integer."""
+
+    name: str = "INT32"
+    width: int = 4
+
+    def encode(self, value: Any) -> bytes:
+        return struct.pack("<i", int(value))
+
+    def decode(self, data: bytes) -> int:
+        return struct.unpack("<i", data[:4])[0]
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype("<i4")
+
+
+@dataclass(frozen=True)
+class Int64(DataType):
+    """Signed 64-bit little-endian integer."""
+
+    name: str = "INT64"
+    width: int = 8
+
+    def encode(self, value: Any) -> bytes:
+        return struct.pack("<q", int(value))
+
+    def decode(self, data: bytes) -> int:
+        return struct.unpack("<q", data[:8])[0]
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype("<i8")
+
+
+@dataclass(frozen=True)
+class Float64(DataType):
+    """IEEE-754 64-bit little-endian float (the paper's price field)."""
+
+    name: str = "FLOAT64"
+    width: int = 8
+
+    def encode(self, value: Any) -> bytes:
+        return struct.pack("<d", float(value))
+
+    def decode(self, data: bytes) -> float:
+        return struct.unpack("<d", data[:8])[0]
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype("<f8")
+
+
+@dataclass(frozen=True)
+class Char(DataType):
+    """Fixed-width character field, NUL-padded on the right."""
+
+    name: str = "CHAR(1)"
+    width: int = 1
+
+    def encode(self, value: Any) -> bytes:
+        raw = str(value).encode("utf-8")
+        if len(raw) > self.width:
+            raise SchemaError(
+                f"string of {len(raw)} bytes exceeds {self.name} width {self.width}"
+            )
+        return raw.ljust(self.width, b"\x00")
+
+    def decode(self, data: bytes) -> str:
+        return data[: self.width].rstrip(b"\x00").decode("utf-8")
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(f"S{self.width}")
+
+
+INT32 = Int32()
+INT64 = Int64()
+FLOAT64 = Float64()
+
+
+def char(width: int) -> Char:
+    """Construct a ``CHAR(width)`` type.
+
+    >>> char(16).width
+    16
+    """
+    if width < 1:
+        raise SchemaError(f"CHAR width must be >= 1, got {width}")
+    return Char(name=f"CHAR({width})", width=width)

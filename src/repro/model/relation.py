@@ -1,0 +1,106 @@
+"""Logical relations.
+
+A :class:`Relation` is the *logical* object of the paper's Section III:
+a named schema plus a row-identity space.  It deliberately stores no
+data — physical storage belongs to layouts and fragments, and one
+relation may be materialized under several alternative layouts at once
+(the multi-layout property).  Keeping the logical relation physical-free
+is what makes "multiple alternative layouts" expressible at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.model.schema import Schema
+
+__all__ = ["Relation", "RowRange"]
+
+
+@dataclass(frozen=True)
+class RowRange:
+    """A half-open, contiguous range of row positions ``[start, stop)``.
+
+    Row ranges are the horizontal dimension of fragments; "gapless" in
+    the paper's fragment definition means exactly this contiguity.
+    """
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise SchemaError(f"invalid row range [{self.start}, {self.stop})")
+
+    @property
+    def count(self) -> int:
+        """Number of rows in the range."""
+        return self.stop - self.start
+
+    def contains(self, row: int) -> bool:
+        """Whether *row* falls inside the range."""
+        return self.start <= row < self.stop
+
+    def overlaps(self, other: "RowRange") -> bool:
+        """Whether the two ranges share at least one row."""
+        return self.start < other.stop and other.start < self.stop
+
+    def intersection(self, other: "RowRange") -> "RowRange | None":
+        """The shared sub-range, or ``None`` when disjoint."""
+        start = max(self.start, other.start)
+        stop = min(self.stop, other.stop)
+        if start >= stop:
+            return None
+        return RowRange(start, stop)
+
+    def split(self, chunk_rows: int) -> list["RowRange"]:
+        """Split into consecutive chunks of at most *chunk_rows* rows."""
+        if chunk_rows < 1:
+            raise SchemaError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        return [
+            RowRange(begin, min(begin + chunk_rows, self.stop))
+            for begin in range(self.start, self.stop, chunk_rows)
+        ]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}, {self.stop})"
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named logical relation: schema plus a count of rows.
+
+    ``row_count`` fixes the identity space ``[0, row_count)`` that every
+    layout of this relation must cover.  Engines that grow relations
+    produce new :class:`Relation` values via :meth:`resized` — the
+    logical object is immutable, matching the paper's treatment of a
+    relation as the invariant that layouts re-organize around.
+    """
+
+    name: str
+    schema: Schema
+    row_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if self.row_count < 0:
+            raise SchemaError(f"row_count must be >= 0, got {self.row_count}")
+
+    @property
+    def rows(self) -> RowRange:
+        """The full row-identity range of the relation."""
+        return RowRange(0, self.row_count)
+
+    @property
+    def nsm_bytes(self) -> int:
+        """Total payload size under a pure NSM serialization."""
+        return self.row_count * self.schema.record_width
+
+    def resized(self, row_count: int) -> "Relation":
+        """The same relation with a different row count."""
+        return Relation(self.name, self.schema, row_count)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}{self.schema} x{self.row_count}"

@@ -1,0 +1,151 @@
+"""Schemas: ordered attribute lists with exact byte geometry.
+
+A :class:`Schema` is the 2-dimensional half of Codd's relation concept:
+it fixes *which* attributes exist and how wide each is, so that layouts
+(Section III) can decide how the second dimension — the records — is
+serialized into one-dimensional memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.model.datatypes import DataType
+
+__all__ = ["Attribute", "Schema"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation.
+
+    Attributes
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    dtype:
+        Fixed-width :class:`~repro.model.datatypes.DataType`.
+    """
+
+    name: str
+    dtype: DataType
+
+    @property
+    def width(self) -> int:
+        """Storage width in bytes."""
+        return self.dtype.width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.dtype.name}"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, immutable sequence of attributes.
+
+    The schema knows the NSM geometry of a record formatted against it:
+    :attr:`record_width` is the record stride, and :meth:`offset_of`
+    gives each attribute's byte offset inside a record.
+
+    >>> from repro.model.datatypes import INT64, FLOAT64
+    >>> s = Schema((Attribute("id", INT64), Attribute("price", FLOAT64)))
+    >>> s.record_width
+    16
+    >>> s.offset_of("price")
+    8
+    """
+
+    attributes: tuple[Attribute, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
+    _offsets: tuple[int, ...] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError("a schema must contain at least one attribute")
+        index: dict[str, int] = {}
+        offsets: list[int] = []
+        cursor = 0
+        for position, attribute in enumerate(self.attributes):
+            if attribute.name in index:
+                raise SchemaError(f"duplicate attribute name {attribute.name!r}")
+            index[attribute.name] = position
+            offsets.append(cursor)
+            cursor += attribute.width
+        object.__setattr__(self, "_index", index)
+        object.__setattr__(self, "_offsets", tuple(offsets))
+
+    @classmethod
+    def of(cls, *columns: tuple[str, DataType]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs."""
+        return cls(tuple(Attribute(name, dtype) for name, dtype in columns))
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def record_width(self) -> int:
+        """Width in bytes of one NSM-formatted record."""
+        return sum(attribute.width for attribute in self.attributes)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def offset_of(self, name: str) -> int:
+        """Byte offset of attribute *name* inside an NSM record."""
+        return self._offsets[self.position_of(name)]
+
+    def position_of(self, name: str) -> int:
+        """Ordinal position of attribute *name* (0-based)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {self.names}"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name."""
+        return self.attributes[self.position_of(name)]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A new schema with only *names*, in the order given.
+
+        Raises :class:`SchemaError` on unknown or duplicate names.
+        """
+        if not names:
+            raise SchemaError("projection must keep at least one attribute")
+        return Schema(tuple(self.attribute(name) for name in names))
+
+    def validate_row(self, row: Sequence[Any]) -> None:
+        """Check that *row* has one encodable value per attribute."""
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"row has {len(row)} values but schema has {self.arity} attributes"
+            )
+        for value, attribute in zip(row, self.attributes):
+            attribute.dtype.validate(value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        columns = ", ".join(str(attribute) for attribute in self.attributes)
+        return f"({columns})"

@@ -1,0 +1,115 @@
+"""Tuple codecs: converting Python rows to/from NSM record bytes.
+
+A :class:`RecordCodec` serializes a row against a schema into one
+contiguous NSM record, and back.  Fragments use it when they linearize
+tuplets; the vectorized data plane instead goes straight through numpy
+structured arrays, which :func:`structured_dtype` constructs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.model.schema import Schema
+
+__all__ = ["RecordCodec", "structured_dtype", "rows_to_structured", "structured_to_rows"]
+
+
+def structured_dtype(schema: Schema) -> np.dtype:
+    """A packed numpy structured dtype mirroring *schema*'s NSM geometry.
+
+    The dtype has ``itemsize == schema.record_width`` (no padding), so a
+    structured array of it is byte-for-byte an NSM serialization.
+    """
+    return np.dtype(
+        [(attribute.name, attribute.dtype.numpy_dtype()) for attribute in schema]
+    )
+
+
+def rows_to_structured(schema: Schema, rows: Sequence[Sequence[Any]]) -> np.ndarray:
+    """Bulk-encode Python rows into a structured array."""
+    dtype = structured_dtype(schema)
+    array = np.empty(len(rows), dtype=dtype)
+    for index, row in enumerate(rows):
+        if len(row) != schema.arity:
+            raise SchemaError(
+                f"row {index} has {len(row)} values, schema needs {schema.arity}"
+            )
+        array[index] = tuple(
+            value.encode("utf-8") if isinstance(value, str) else value for value in row
+        )
+    return array
+
+
+def structured_to_rows(schema: Schema, array: np.ndarray) -> list[tuple[Any, ...]]:
+    """Decode a structured array back into plain Python rows."""
+    rows: list[tuple[Any, ...]] = []
+    for record in array:
+        values: list[Any] = []
+        for attribute in schema:
+            value = record[attribute.name]
+            if isinstance(value, bytes):
+                value = value.rstrip(b"\x00").decode("utf-8")
+            elif isinstance(value, np.generic):
+                value = value.item()
+            values.append(value)
+        rows.append(tuple(values))
+    return rows
+
+
+class RecordCodec:
+    """Encode/decode single rows as NSM record bytes.
+
+    >>> from repro.model.datatypes import INT64, FLOAT64
+    >>> from repro.model.schema import Schema
+    >>> codec = RecordCodec(Schema.of(("id", INT64), ("price", FLOAT64)))
+    >>> codec.decode(codec.encode((7, 1.5)))
+    (7, 1.5)
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this codec encodes against."""
+        return self._schema
+
+    @property
+    def record_width(self) -> int:
+        """Width of one encoded record in bytes."""
+        return self._schema.record_width
+
+    def encode(self, row: Sequence[Any]) -> bytes:
+        """Serialize *row* into ``record_width`` bytes (NSM field order)."""
+        if len(row) != self._schema.arity:
+            raise SchemaError(
+                f"row has {len(row)} values, schema needs {self._schema.arity}"
+            )
+        parts = [
+            attribute.dtype.encode(value)
+            for value, attribute in zip(row, self._schema.attributes)
+        ]
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> tuple[Any, ...]:
+        """Deserialize one record (field values in schema order)."""
+        if len(data) < self.record_width:
+            raise SchemaError(
+                f"record needs {self.record_width} bytes, got {len(data)}"
+            )
+        values: list[Any] = []
+        cursor = 0
+        for attribute in self._schema.attributes:
+            values.append(attribute.dtype.decode(data[cursor : cursor + attribute.width]))
+            cursor += attribute.width
+        return tuple(values)
+
+    def decode_field(self, data: bytes, name: str) -> Any:
+        """Deserialize a single field out of one record's bytes."""
+        offset = self._schema.offset_of(name)
+        attribute = self._schema.attribute(name)
+        return attribute.dtype.decode(data[offset : offset + attribute.width])

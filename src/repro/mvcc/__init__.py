@@ -1,0 +1,17 @@
+"""Snapshot isolation for HTAP: fork + copy-on-write (challenge b.iii)."""
+
+from repro.mvcc.snapshot import (
+    FAULT_OVERHEAD_CYCLES,
+    PAGE_BYTES,
+    PTE_COPY_CYCLES,
+    Snapshot,
+    SnapshotManager,
+)
+
+__all__ = [
+    "Snapshot",
+    "SnapshotManager",
+    "PAGE_BYTES",
+    "PTE_COPY_CYCLES",
+    "FAULT_OVERHEAD_CYCLES",
+]

@@ -1,0 +1,35 @@
+"""Workloads: TPC-C-like generators, query families, HTAP mixes, traces."""
+
+from repro.workload.htap import HTAPMix
+from repro.workload.queries import QueryShape, QuerySpec, random_positions
+from repro.workload.tpcc import (
+    CUSTOMER_FIELDS,
+    CUSTOMER_RECORD_BYTES,
+    ITEM_FIELDS,
+    ITEM_RECORD_BYTES,
+    customer_relation,
+    customer_schema,
+    generate_customers,
+    generate_items,
+    item_relation,
+    item_schema,
+)
+from repro.workload.trace import WorkloadTrace
+
+__all__ = [
+    "customer_schema",
+    "item_schema",
+    "customer_relation",
+    "item_relation",
+    "generate_customers",
+    "generate_items",
+    "CUSTOMER_RECORD_BYTES",
+    "CUSTOMER_FIELDS",
+    "ITEM_RECORD_BYTES",
+    "ITEM_FIELDS",
+    "QueryShape",
+    "QuerySpec",
+    "random_positions",
+    "HTAPMix",
+    "WorkloadTrace",
+]

@@ -1,0 +1,139 @@
+"""HTAP workload mixes: interleaved OLTP and OLAP query streams.
+
+The paper's challenge (b.iii): "efficient processing of both workload
+types without interferences between long-running ad-hoc analytic
+queries and massive short-living write-intensive transactional
+queries."  :class:`HTAPMix` generates a deterministic interleaving of
+the two query populations with a tunable OLTP fraction, which the
+adaptive engines and the PDSM ablation run against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.model.relation import Relation
+from repro.workload.queries import QueryShape, QuerySpec
+
+__all__ = ["HTAPMix"]
+
+
+@dataclass(frozen=True)
+class HTAPMix:
+    """A parameterized OLTP/OLAP interleaving over one relation.
+
+    Attributes
+    ----------
+    relation:
+        Target relation (fixes names, arity, and position space).
+    oltp_fraction:
+        Probability that a generated query is transactional.
+    oltp_attributes:
+        Attributes an OLTP query touches (defaults to all — the
+        record-centric pattern accesses "a large subset of fields").
+    olap_attributes:
+        Candidate attributes for OLAP full-column aggregations.
+    oltp_write_fraction:
+        Among OLTP queries, the fraction that are point updates
+        (the rest are point materializations).
+    positions_per_oltp:
+        Rows each OLTP query touches.
+    seed:
+        Generator seed; the stream is fully deterministic.
+    """
+
+    relation: Relation
+    oltp_fraction: float = 0.5
+    oltp_attributes: tuple[str, ...] = ()
+    olap_attributes: tuple[str, ...] = ()
+    oltp_write_fraction: float = 0.5
+    positions_per_oltp: int = 4
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.oltp_fraction <= 1.0:
+            raise WorkloadError(f"oltp_fraction must be in [0,1], got {self.oltp_fraction}")
+        if not 0.0 <= self.oltp_write_fraction <= 1.0:
+            raise WorkloadError(
+                f"oltp_write_fraction must be in [0,1], got {self.oltp_write_fraction}"
+            )
+        if self.positions_per_oltp < 1:
+            raise WorkloadError("positions_per_oltp must be >= 1")
+
+    def _oltp_attribute_set(self) -> tuple[str, ...]:
+        return self.oltp_attributes or self.relation.schema.names
+
+    def _olap_attribute_set(self) -> tuple[str, ...]:
+        if self.olap_attributes:
+            return self.olap_attributes
+        # Default to numeric attributes (aggregations need numbers).
+        numeric = tuple(
+            attribute.name
+            for attribute in self.relation.schema
+            if attribute.dtype.numpy_dtype().kind in ("i", "f")
+        )
+        if not numeric:
+            raise WorkloadError(
+                f"{self.relation.name}: no numeric attributes to aggregate"
+            )
+        return numeric
+
+    def queries(self, count: int) -> Iterator[QuerySpec]:
+        """Yield *count* interleaved query specs."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        rng = np.random.default_rng(self.seed)
+        olap_candidates = self._olap_attribute_set()
+        oltp_attributes = self._oltp_attribute_set()
+        rows = self.relation.row_count
+        for index in range(count):
+            if rng.uniform() < self.oltp_fraction and rows > 0:
+                sample = min(self.positions_per_oltp, rows)
+                positions = tuple(
+                    int(position)
+                    for position in np.sort(
+                        rng.choice(rows, size=sample, replace=False)
+                    )
+                )
+                if rng.uniform() < self.oltp_write_fraction:
+                    # The first attribute is the primary key, which the
+                    # engines treat as immutable — never update it.
+                    key = self.relation.schema.names[0]
+                    numeric = [
+                        name
+                        for name in oltp_attributes
+                        if name != key
+                        and self.relation.schema.attribute(name)
+                        .dtype.numpy_dtype()
+                        .kind
+                        in ("i", "f")
+                    ]
+                    target = numeric[int(rng.integers(len(numeric)))] if numeric else oltp_attributes[-1]
+                    yield QuerySpec(
+                        shape=QueryShape.POINT_UPDATE,
+                        relation_name=self.relation.name,
+                        attributes=(target,),
+                        positions=positions[:1],
+                    )
+                else:
+                    yield QuerySpec(
+                        shape=QueryShape.POINT_MATERIALIZE,
+                        relation_name=self.relation.name,
+                        attributes=oltp_attributes,
+                        positions=positions,
+                    )
+            else:
+                attribute = olap_candidates[int(rng.integers(len(olap_candidates)))]
+                yield QuerySpec(
+                    shape=QueryShape.FULL_SUM,
+                    relation_name=self.relation.name,
+                    attributes=(attribute,),
+                )
+
+    def query_list(self, count: int) -> list[QuerySpec]:
+        """Materialized form of :meth:`queries`."""
+        return list(self.queries(count))

@@ -1,0 +1,139 @@
+"""TPC-C-like table generators with the paper's exact byte geometry.
+
+Section II-B fixes the geometry Figure 2 depends on: "a customer record
+has a size of 96 bytes for 21 fields, and an item record has a size of
+20 bytes for 4 fields + 8 bytes for the price field."  The schemas here
+reproduce those numbers exactly (asserted by tests), and the generators
+produce deterministic synthetic columns from a seed — the paper's data
+*content* never matters, only its shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.model.datatypes import FLOAT64, INT32, INT64, char
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+
+__all__ = [
+    "customer_schema",
+    "item_schema",
+    "customer_relation",
+    "item_relation",
+    "generate_customers",
+    "generate_items",
+    "CUSTOMER_RECORD_BYTES",
+    "CUSTOMER_FIELDS",
+    "ITEM_RECORD_BYTES",
+    "ITEM_FIELDS",
+]
+
+#: The paper's customer geometry: 96 bytes over 21 fields.
+CUSTOMER_RECORD_BYTES = 96
+CUSTOMER_FIELDS = 21
+#: The paper's item geometry: 20 bytes over 4 fields + 8-byte price.
+ITEM_RECORD_BYTES = 28
+ITEM_FIELDS = 5
+
+
+def customer_schema() -> Schema:
+    """The 21-field, 96-byte customer schema."""
+    return Schema.of(
+        ("c_id", INT64),  # 8
+        ("c_d_id", INT32),  # 4
+        ("c_w_id", INT32),  # 4
+        ("c_first", char(8)),  # 8
+        ("c_middle", char(2)),  # 2
+        ("c_last", char(8)),  # 8
+        ("c_street_1", char(6)),  # 6
+        ("c_street_2", char(6)),  # 6
+        ("c_city", char(6)),  # 6
+        ("c_state", char(2)),  # 2
+        ("c_zip", char(4)),  # 4
+        ("c_phone", char(8)),  # 8
+        ("c_since", INT32),  # 4
+        ("c_credit", char(2)),  # 2
+        ("c_credit_lim", FLOAT64),  # 8
+        ("c_discount", INT32),  # 4
+        ("c_balance", INT32),  # 4
+        ("c_ytd_payment", INT32),  # 4
+        ("c_payment_cnt", char(1)),  # 1
+        ("c_delivery_cnt", char(1)),  # 1
+        ("c_data", char(2)),  # 2   -> total 96 bytes, 21 fields
+    )
+
+
+def item_schema() -> Schema:
+    """The 4-field + price item schema (20 + 8 bytes)."""
+    return Schema.of(
+        ("i_id", INT64),  # 8
+        ("i_im_id", INT32),  # 4
+        ("i_name", char(6)),  # 6
+        ("i_data", char(2)),  # 2   -> 20 bytes for the 4 non-price fields
+        ("i_price", FLOAT64),  # 8
+    )
+
+
+def customer_relation(row_count: int) -> Relation:
+    """A customer relation of *row_count* rows."""
+    return Relation("customer", customer_schema(), row_count)
+
+
+def item_relation(row_count: int) -> Relation:
+    """An item relation of *row_count* rows."""
+    return Relation("item", item_schema(), row_count)
+
+
+def _char_column(rng: np.random.Generator, count: int, width: int) -> np.ndarray:
+    """A deterministic fixed-width byte-string column."""
+    alphabet = np.frombuffer(b"ABCDEFGHIJKLMNOPQRSTUVWXYZ", dtype="S1")
+    picks = rng.integers(0, len(alphabet), size=(count, width))
+    return alphabet[picks].view(f"S{width}").reshape(count)
+
+
+def generate_customers(count: int, seed: int = 7) -> dict[str, np.ndarray]:
+    """Deterministic per-column arrays for *count* customer rows."""
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+    rng = np.random.default_rng(seed)
+    schema = customer_schema()
+    columns: dict[str, np.ndarray] = {}
+    for attribute in schema:
+        dtype = attribute.dtype.numpy_dtype()
+        if attribute.name == "c_id":
+            columns[attribute.name] = np.arange(count, dtype=dtype)
+        elif dtype.kind == "i":
+            columns[attribute.name] = rng.integers(
+                0, 10_000, size=count, dtype=dtype
+            )
+        elif dtype.kind == "f":
+            columns[attribute.name] = rng.uniform(0.0, 50_000.0, size=count)
+        else:
+            columns[attribute.name] = _char_column(rng, count, dtype.itemsize)
+    return columns
+
+
+def generate_items(count: int, seed: int = 11) -> dict[str, np.ndarray]:
+    """Deterministic per-column arrays for *count* item rows.
+
+    Prices are drawn uniformly from [1, 100) — Figure 2 only sums them,
+    so only their dtype and count matter.
+    """
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+    rng = np.random.default_rng(seed)
+    schema = item_schema()
+    columns: dict[str, np.ndarray] = {}
+    for attribute in schema:
+        dtype = attribute.dtype.numpy_dtype()
+        if attribute.name == "i_id":
+            columns[attribute.name] = np.arange(count, dtype=dtype)
+        elif attribute.name == "i_price":
+            columns[attribute.name] = rng.uniform(1.0, 100.0, size=count)
+        elif dtype.kind == "i":
+            columns[attribute.name] = rng.integers(0, 10_000, size=count, dtype=dtype)
+        else:
+            columns[attribute.name] = _char_column(rng, count, dtype.itemsize)
+    return columns

@@ -1,0 +1,95 @@
+"""Workload traces: recorded access descriptors over time windows.
+
+Responsive engines (HYRISE, H2O, HyPer, Peloton, ES2, the reference
+design) adapt their layouts "based on query workload traces".  A
+:class:`WorkloadTrace` is the substrate: it records
+:class:`~repro.execution.access.AccessDescriptor` events and serves
+windowed views to :mod:`repro.adapt.statistics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import WorkloadError
+from repro.execution.access import AccessDescriptor, AccessKind
+
+__all__ = ["WorkloadTrace"]
+
+
+@dataclass
+class WorkloadTrace:
+    """An append-only log of access descriptors with windowed reads.
+
+    Attributes
+    ----------
+    capacity:
+        Maximum retained events; older events are dropped FIFO, so the
+        trace is a sliding window over the recent workload (adaptation
+        should chase the present, not the whole history).
+    """
+
+    capacity: int = 10_000
+    _events: list[AccessDescriptor] = field(default_factory=list)
+    _dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise WorkloadError(f"capacity must be >= 1, got {self.capacity}")
+
+    def record(self, event: AccessDescriptor) -> None:
+        """Append one access event, evicting the oldest beyond capacity."""
+        self._events.append(event)
+        if len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self._dropped += overflow
+
+    def window(self, last: int | None = None) -> Sequence[AccessDescriptor]:
+        """The most recent *last* events (all retained events by default)."""
+        if last is None:
+            return tuple(self._events)
+        if last < 0:
+            raise WorkloadError(f"last must be >= 0, got {last}")
+        return tuple(self._events[-last:]) if last else ()
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (including dropped ones)."""
+        return len(self._events) + self._dropped
+
+    def read_fraction(self) -> float:
+        """Fraction of retained events that are reads (1.0 when empty)."""
+        if not self._events:
+            return 1.0
+        reads = sum(1 for event in self._events if event.kind is AccessKind.READ)
+        return reads / len(self._events)
+
+    def record_centric_fraction(self) -> float:
+        """Fraction of retained events with the record-centric shape."""
+        if not self._events:
+            return 0.0
+        hits = sum(1 for event in self._events if event.is_record_centric)
+        return hits / len(self._events)
+
+    def attribute_centric_fraction(self) -> float:
+        """Fraction of retained events with the attribute-centric shape."""
+        if not self._events:
+            return 0.0
+        hits = sum(1 for event in self._events if event.is_attribute_centric)
+        return hits / len(self._events)
+
+    def clear(self) -> None:
+        """Forget everything."""
+        self._events.clear()
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AccessDescriptor]:
+        return iter(self._events)

@@ -1,0 +1,146 @@
+"""Layout advisor and reorganizer tests."""
+
+import pytest
+
+from repro.adapt.advisor import GroupProposal, LayoutAdvisor
+from repro.adapt.reorganizer import reorganize_layout
+from repro.adapt.statistics import AttributeStatistics
+from repro.errors import WorkloadError
+from repro.execution.access import AccessDescriptor, AccessKind
+from repro.execution.context import ExecutionContext
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import LinearizationKind
+from repro.layout.region import Region
+from repro.model.datatypes import FLOAT64, INT64
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    return Relation(
+        "t", Schema.of(("a", INT64), ("b", INT64), ("p", FLOAT64)), 10_000
+    )
+
+
+def scan_event(relation, attribute):
+    return AccessDescriptor(
+        AccessKind.READ, (attribute,), relation.row_count,
+        relation.row_count, relation.schema.arity,
+    )
+
+
+def point_event(relation):
+    return AccessDescriptor(
+        AccessKind.READ, relation.schema.names, 1,
+        relation.row_count, relation.schema.arity,
+    )
+
+
+class TestAdvisor:
+    def test_scan_heavy_prefers_columns(self, platform, relation):
+        advisor = LayoutAdvisor(platform.memory_model)
+        events = [scan_event(relation, "p")] * 20
+        stats = AttributeStatistics.from_events(relation.schema, events)
+        proposal = advisor.propose(relation, stats, events)
+        # The winning layout must store `p` thin (directly linearized).
+        owner = next(
+            group for group in proposal.groups if "p" in group.attributes
+        )
+        assert owner.linearization is LinearizationKind.DIRECT
+
+    def test_point_heavy_prefers_nsm(self, platform, relation):
+        advisor = LayoutAdvisor(platform.memory_model)
+        events = [point_event(relation)] * 20
+        stats = AttributeStatistics.from_events(relation.schema, events)
+        proposal = advisor.propose(relation, stats, events)
+        assert proposal.groups[0].linearization is LinearizationKind.NSM
+        assert proposal.groups[0].attributes == relation.schema.names
+
+    def test_estimate_requires_coverage(self, platform, relation):
+        advisor = LayoutAdvisor(platform.memory_model)
+        partial = (GroupProposal(("a",), LinearizationKind.DIRECT),)
+        with pytest.raises(WorkloadError):
+            advisor.estimate(relation, partial, [point_event(relation)])
+
+    def test_candidate_pool_contains_extremes(self, platform, relation):
+        advisor = LayoutAdvisor(platform.memory_model)
+        stats = AttributeStatistics(schema=relation.schema)
+        pool = advisor.candidates(relation, stats)
+        kinds = {candidate[0].linearization for candidate in pool if len(candidate) == 1}
+        assert LinearizationKind.NSM in kinds
+        assert LinearizationKind.DIRECT in kinds
+
+    def test_empty_thresholds_rejected(self, platform):
+        with pytest.raises(WorkloadError):
+            LayoutAdvisor(platform.memory_model, thresholds=())
+
+
+class TestReorganizer:
+    def make_nsm_layout(self, relation, platform, rows):
+        fragment = Fragment.from_rows(
+            Region.full(relation), relation.schema, LinearizationKind.NSM,
+            platform.host_memory, rows,
+        )
+        return Layout("t", relation, [fragment])
+
+    def test_reorganize_preserves_data(self, platform):
+        relation = Relation("t", Schema.of(("a", INT64), ("p", FLOAT64)), 20)
+        rows = [(i, float(i)) for i in range(20)]
+        layout = self.make_nsm_layout(relation, platform, rows)
+        proposal_groups = (
+            GroupProposal(("a",), LinearizationKind.DIRECT),
+            GroupProposal(("p",), LinearizationKind.DIRECT),
+        )
+        from repro.adapt.advisor import LayoutProposal
+
+        ctx = ExecutionContext(platform)
+        reorganize_layout(
+            layout, LayoutProposal(proposal_groups, 0.0), platform.host_memory, ctx
+        )
+        assert len(layout) == 2
+        assert [layout.read_row(i) for i in range(20)] == rows
+        assert ctx.cycles > 0
+
+    def test_direct_multi_group_expands_to_columns(self, platform):
+        relation = Relation("t", Schema.of(("a", INT64), ("p", FLOAT64)), 10)
+        rows = [(i, float(i)) for i in range(10)]
+        layout = self.make_nsm_layout(relation, platform, rows)
+        from repro.adapt.advisor import LayoutProposal
+
+        proposal = LayoutProposal(
+            (GroupProposal(("a", "p"), LinearizationKind.DIRECT),), 0.0
+        )
+        reorganize_layout(layout, proposal, platform.host_memory, None)
+        assert len(layout) == 2
+        assert all(fragment.region.is_column for fragment in layout)
+
+    def test_phantom_reorganize_keeps_geometry(self, platform):
+        relation = Relation("t", Schema.of(("a", INT64), ("p", FLOAT64)), 1000)
+        fragment = Fragment(
+            Region.full(relation), relation.schema, LinearizationKind.NSM,
+            platform.host_memory, materialize=False,
+        )
+        fragment.fill_phantom(1000)
+        layout = Layout("t", relation, [fragment])
+        from repro.adapt.advisor import LayoutProposal
+
+        proposal = LayoutProposal(
+            (GroupProposal(("a", "p"), LinearizationKind.DIRECT),), 0.0
+        )
+        reorganize_layout(layout, proposal, platform.host_memory, None)
+        assert all(f.is_phantom and f.filled == 1000 for f in layout)
+
+    def test_old_memory_freed(self, platform):
+        relation = Relation("t", Schema.of(("a", INT64), ("p", FLOAT64)), 100)
+        rows = [(i, float(i)) for i in range(100)]
+        layout = self.make_nsm_layout(relation, platform, rows)
+        from repro.adapt.advisor import LayoutProposal
+
+        proposal = LayoutProposal(
+            (GroupProposal(("a", "p"), LinearizationKind.DIRECT),), 0.0
+        )
+        before = platform.host_memory.used
+        reorganize_layout(layout, proposal, platform.host_memory, None)
+        assert platform.host_memory.used == before  # same payload size

@@ -1,0 +1,86 @@
+"""Placement policy tests: all-or-nothing and hot-column."""
+
+import numpy as np
+import pytest
+
+from repro.adapt.placement import AllOrNothingPlacement, HotColumnPlacement
+from repro.adapt.statistics import AttributeStatistics
+from repro.errors import PlacementError
+from repro.execution.access import AccessDescriptor, AccessKind
+from repro.execution.context import ExecutionContext
+from repro.hardware.platform import Platform
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.partitioning import one_region_per_attribute
+from repro.model.datatypes import FLOAT64, INT64
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+
+
+def columnar(platform, rows=1000):
+    relation = Relation("t", Schema.of(("a", INT64), ("p", FLOAT64)), rows)
+    fragments = []
+    for region in one_region_per_attribute(relation):
+        fragment = Fragment(region, relation.schema, None, platform.host_memory)
+        name = region.attributes[0]
+        values = np.arange(rows, dtype=np.float64 if name == "p" else np.int64)
+        fragment.append_columns({name: values})
+        fragments.append(fragment)
+    return relation, Layout("t", relation, fragments, allow_overlap=True)
+
+
+class TestAllOrNothing:
+    def test_placement_succeeds_when_fits(self, platform, ctx):
+        relation, layout = columnar(platform)
+        policy = AllOrNothingPlacement(platform.device_memory)
+        decision = policy.try_place(layout, layout.fragments[1], ctx)
+        assert decision.placed
+        assert layout.fragments[0].space is platform.device_memory
+        assert ctx.counters.bytes_transferred == 8000
+
+    def test_fallback_when_too_big(self, ctx):
+        platform = Platform.paper_testbed(device_capacity=100)
+        relation, layout = columnar(platform)
+        policy = AllOrNothingPlacement(platform.device_memory)
+        local_ctx = ExecutionContext(platform)
+        decision = policy.try_place(layout, layout.fragments[1], local_ctx)
+        assert not decision.placed
+        assert "fallback" in decision.reason
+        # All-or-nothing: nothing was transferred.
+        assert local_ctx.counters.bytes_transferred == 0
+
+    def test_already_placed(self, platform, ctx):
+        relation, layout = columnar(platform)
+        policy = AllOrNothingPlacement(platform.device_memory)
+        policy.try_place(layout, layout.fragments[1], ctx)
+        again = policy.try_place(layout, layout.fragments[0], ctx)
+        assert not again.placed
+
+    def test_foreign_fragment_rejected(self, platform, ctx):
+        relation, layout = columnar(platform)
+        __, other_layout = columnar(platform)
+        policy = AllOrNothingPlacement(platform.device_memory)
+        with pytest.raises(PlacementError):
+            policy.try_place(layout, other_layout.fragments[0], ctx)
+
+    def test_host_target_rejected(self, platform):
+        with pytest.raises(PlacementError):
+            AllOrNothingPlacement(platform.host_memory)
+
+
+class TestHotColumn:
+    def test_hottest_placed_first(self, platform, ctx):
+        relation, layout = columnar(platform)
+        stats = AttributeStatistics.from_events(
+            relation.schema,
+            [
+                AccessDescriptor(AccessKind.READ, ("p",), 1000, 1000, 2),
+                AccessDescriptor(AccessKind.READ, ("a",), 10, 1000, 2),
+            ],
+        )
+        policy = HotColumnPlacement(platform.device_memory)
+        decisions = policy.place_hottest(layout, stats, ctx, limit=1)
+        placed = [d.fragment_label for d in decisions if d.placed]
+        assert len(placed) == 1 and ":p" in placed[0] or "p" in placed[0]
+        assert layout.fragment_for(0, "p").space is platform.device_memory
+        assert layout.fragment_for(0, "a").space is platform.host_memory

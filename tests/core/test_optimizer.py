@@ -1,0 +1,73 @@
+"""Figure 1's continuous optimization loop."""
+
+import pytest
+
+from repro.core import ContinuousOptimizer
+from repro.engines import HyriseEngine, PaxEngine
+from repro.errors import EngineError
+from repro.execution import ExecutionContext
+from repro.hardware import Platform
+from repro.workload import generate_items, item_schema
+
+
+@pytest.fixture
+def hyrise():
+    platform = Platform.paper_testbed()
+    engine = HyriseEngine(platform)
+    engine.create("item", item_schema())
+    engine.load("item", generate_items(400))
+    return engine, platform
+
+
+class TestContinuousOptimizer:
+    def test_fires_after_period(self, hyrise):
+        engine, platform = hyrise
+        optimizer = ContinuousOptimizer(engine, "item", period=10)
+        ctx = ExecutionContext(platform)
+        changed = []
+        for __ in range(25):
+            engine.sum("item", "i_price", ctx)
+            changed.append(optimizer.tick(ctx))
+        # Fired at query 10 (re-cut to columns) and evaluated again at
+        # 20 (already optimal -> no change).
+        assert changed[9] is True
+        assert optimizer.reorganizations == 1
+        layout = engine.layouts("item")[0]
+        assert layout.fragment_for(0, "i_price").region.is_column
+
+    def test_idle_ticks_are_free(self, hyrise):
+        engine, platform = hyrise
+        optimizer = ContinuousOptimizer(engine, "item", period=100)
+        ctx = ExecutionContext(platform)
+        engine.sum("item", "i_price", ctx)
+        cycles_before = ctx.cycles
+        assert not optimizer.tick(ctx)
+        assert ctx.cycles == cycles_before
+
+    def test_follows_workload_drift(self, hyrise):
+        engine, platform = hyrise
+        optimizer = ContinuousOptimizer(engine, "item", period=20)
+        ctx = ExecutionContext(platform)
+        for __ in range(20):
+            engine.sum("item", "i_price", ctx)
+        assert optimizer.tick(ctx)
+        engine.managed("item").trace.clear()
+        for position in range(0, 200, 5):
+            engine.materialize("item", [position], ctx)
+        assert optimizer.tick(ctx)  # back to the wide NSM container
+        assert optimizer.reorganizations == 2
+        wide = engine.layouts("item")[0].fragment_for(0, "i_price")
+        assert wide.region.arity == 5
+
+    def test_static_engine_rejected(self):
+        platform = Platform.paper_testbed()
+        engine = PaxEngine(platform)
+        engine.create("item", item_schema())
+        engine.load("item", generate_items(100))
+        with pytest.raises(EngineError):
+            ContinuousOptimizer(engine, "item")
+
+    def test_invalid_period(self, hyrise):
+        engine, __ = hyrise
+        with pytest.raises(EngineError):
+            ContinuousOptimizer(engine, "item", period=0)

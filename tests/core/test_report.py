@@ -1,0 +1,67 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.core.report import (
+    render_requirements_matrix,
+    render_survey_table,
+    render_table,
+    render_taxonomy,
+)
+from repro.core.survey import run_survey
+
+
+@pytest.fixture(scope="module")
+def survey():
+    return run_survey(row_count=300)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table([("a", "bb"), ("ccc", "d")], ("H1", "H2"))
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all equal width
+        assert "H1" in lines[0] and "---" in lines[1]
+
+
+class TestSurveyTable:
+    def test_contains_every_engine(self, survey):
+        text = render_survey_table(survey)
+        for result in survey:
+            assert result.engine in text
+
+    def test_match_markers(self, survey):
+        text = render_survey_table(survey)
+        assert text.count("==") >= 10
+
+
+class TestTaxonomyRender:
+    def test_axes_present(self):
+        text = render_taxonomy()
+        for axis in (
+            "Layout Handling",
+            "Layout Flexibility",
+            "Fragment Linearization",
+            "Fragment Scheme",
+        ):
+            assert axis in text
+
+    def test_indentation_reflects_depth(self):
+        text = render_taxonomy()
+        assert "\n  Layout Handling" in text
+        assert "\n    Single Layout" in text
+
+
+class TestRequirementsMatrix:
+    def test_matrix_shape(self, survey):
+        text = render_requirements_matrix([r.derived for r in survey])
+        assert "R1" in text and "R6" in text and "all six" in text
+        assert "Requirements:" in text
+
+    def test_not_yet(self, survey):
+        """The rendered verdict column shows the paper's answer."""
+        text = render_requirements_matrix([r.derived for r in survey])
+        verdict_lines = [
+            line for line in text.splitlines() if line.strip().endswith(("yes", "no"))
+        ]
+        assert not any("YES" in line for line in verdict_lines)

@@ -1,0 +1,47 @@
+"""E5: the survey's derived classifications must equal the paper's Table 1.
+
+This is the reproduction's central theorem: ten mini-engines built from
+mechanisms, classified by derivation, agreeing cell-for-cell with the
+published table.
+"""
+
+import pytest
+
+from repro.core.classification import check_capability_consistency
+from repro.core.survey import PAPER_TABLE_1, build_reference_instances, run_survey
+
+
+@pytest.fixture(scope="module")
+def survey():
+    return run_survey(row_count=600)
+
+
+def test_all_ten_engines_surveyed(survey):
+    assert {result.engine for result in survey} == set(PAPER_TABLE_1)
+
+
+def test_every_row_matches_paper(survey):
+    failures = [
+        f"{result.engine}: {'; '.join(result.mismatches)}"
+        for result in survey
+        if not result.matches
+    ]
+    assert not failures, "\n".join(failures)
+
+
+def test_paper_ordering_by_date(survey):
+    years = [result.derived.year for result in survey]
+    assert years == sorted(years)  # Table 1 is ordered by date
+
+
+def test_capability_consistency_of_instances():
+    for engine, relation_name in build_reference_instances(row_count=600):
+        assert check_capability_consistency(engine, relation_name) == []
+
+
+@pytest.mark.parametrize("engine_name", sorted(PAPER_TABLE_1))
+def test_row_cells_render(survey, engine_name):
+    result = next(r for r in survey if r.engine == engine_name)
+    row = result.derived.row()
+    assert row[0] == engine_name
+    assert all(isinstance(cell, str) and cell for cell in row)

@@ -1,0 +1,93 @@
+"""Taxonomy tree tests (Figure 4)."""
+
+from repro.core.taxonomy import (
+    TAXONOMY_TREE,
+    FragmentScheme,
+    LayoutAdaptability,
+    LayoutFlexibility,
+    LayoutHandling,
+    LocationLocality,
+    LocationTarget,
+    ProcessorSupport,
+)
+from repro.layout.properties import LinearizationProperty
+
+
+class TestTreeStructure:
+    def test_six_classification_axes(self):
+        names = [child.name for child in TAXONOMY_TREE.children]
+        assert names == [
+            "Layout Handling",
+            "Layout Flexibility",
+            "Layout Adaptability",
+            "Data Location",
+            "Fragment Linearization",
+            "Fragment Scheme",
+        ]
+
+    def test_layout_handling_leaves(self):
+        node = TAXONOMY_TREE.find("Layout Handling")
+        values = {leaf.leaf_value for leaf in node.leaves()}
+        assert values == set(LayoutHandling)
+
+    def test_flexibility_hierarchy(self):
+        flexible = TAXONOMY_TREE.find("Flexible")
+        assert flexible is not None
+        strong = flexible.find("Strong")
+        assert {leaf.leaf_value for leaf in strong.leaves()} == {
+            LayoutFlexibility.STRONG_CONSTRAINED,
+            LayoutFlexibility.STRONG_UNCONSTRAINED,
+        }
+
+    def test_adaptability_leaves(self):
+        node = TAXONOMY_TREE.find("Layout Adaptability")
+        assert {leaf.leaf_value for leaf in node.leaves()} == set(LayoutAdaptability)
+
+    def test_linearization_covers_all_properties_but_mixed_hybrids(self):
+        node = TAXONOMY_TREE.find("Fragment Linearization")
+        values = {leaf.leaf_value for leaf in node.leaves()}
+        # Every LinearizationProperty except the NSM+DSM-fixed pair label
+        # (which Figure 4 folds under fixed leaves) must appear.
+        missing = set(LinearizationProperty) - values
+        assert missing == {LinearizationProperty.FAT_NSM_PLUS_DSM_FIXED}
+
+    def test_scheme_leaves(self):
+        node = TAXONOMY_TREE.find("Fragment Scheme")
+        assert {leaf.leaf_value for leaf in node.leaves()} == {
+            FragmentScheme.REPLICATION,
+            FragmentScheme.DELEGATION,
+        }
+
+    def test_render_contains_all_nodes(self):
+        rendered = TAXONOMY_TREE.render()
+        for __, node in TAXONOMY_TREE.walk():
+            assert node.name in rendered
+
+    def test_find_missing(self):
+        assert TAXONOMY_TREE.find("Quantum Layout") is None
+
+
+class TestEnumSemantics:
+    def test_handling_is_multi(self):
+        assert LayoutHandling.MULTI_BUILT_IN.is_multi
+        assert not LayoutHandling.SINGLE.is_multi
+
+    def test_flexibility_predicates(self):
+        assert not LayoutFlexibility.INFLEXIBLE.is_flexible
+        assert LayoutFlexibility.WEAK.is_flexible
+        assert LayoutFlexibility.STRONG_CONSTRAINED.is_strong
+        assert not LayoutFlexibility.WEAK.is_strong
+
+    def test_table_label_drops_order_suffix(self):
+        assert LayoutFlexibility.STRONG_CONSTRAINED.table_label == "strong flex."
+        assert LayoutFlexibility.STRONG_UNCONSTRAINED.table_label == "strong flex."
+        assert LayoutFlexibility.WEAK.table_label == "weak flex."
+
+    def test_processor_includes_gpu(self):
+        assert ProcessorSupport.GPU.includes_gpu
+        assert ProcessorSupport.CPU_GPU.includes_gpu
+        assert not ProcessorSupport.CPU.includes_gpu
+
+    def test_location_enums_exist(self):
+        assert LocationTarget.MIXED.value == "mixed"
+        assert LocationLocality.DISTRIBUTED.value == "distr."

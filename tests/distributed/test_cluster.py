@@ -1,0 +1,59 @@
+"""Cluster and network model tests."""
+
+import pytest
+
+from repro.distributed.cluster import Cluster, NetworkModel
+from repro.errors import DistributedError
+from repro.hardware.event import PerfCounters
+
+
+class TestCluster:
+    def test_nodes_have_private_memory(self):
+        cluster = Cluster(node_count=3)
+        cluster.nodes[0].memory.allocate(1024)
+        assert cluster.nodes[1].memory.used == 0
+
+    def test_node_lookup(self):
+        cluster = Cluster(node_count=2)
+        assert cluster.node("node1") is cluster.nodes[1]
+        with pytest.raises(DistributedError):
+            cluster.node("ghost")
+
+    def test_placement_deterministic(self):
+        cluster = Cluster(node_count=4)
+        assert cluster.node_for(5) is cluster.node_for(5)
+        assert cluster.node_for(5) is cluster.nodes[1]
+
+    def test_replica_nodes_distinct(self):
+        cluster = Cluster(node_count=4)
+        replicas = cluster.replica_nodes(2, 3)
+        assert len({node.name for node in replicas}) == 3
+
+    def test_replication_beyond_cluster_rejected(self):
+        cluster = Cluster(node_count=2)
+        with pytest.raises(DistributedError):
+            cluster.replica_nodes(0, 3)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(DistributedError):
+            Cluster(node_count=0)
+
+
+class TestNetwork:
+    def test_zero_free(self):
+        assert NetworkModel().transfer_cost(0) == 0.0
+
+    def test_latency_plus_bandwidth(self):
+        model = NetworkModel()
+        nbytes = 1 << 20
+        expected = (model.latency_s + nbytes / model.bandwidth) * model.host_frequency_hz
+        assert model.transfer_cost(nbytes) == pytest.approx(expected)
+
+    def test_counters(self):
+        counters = PerfCounters()
+        NetworkModel().transfer_cost(100, counters)
+        assert counters.bytes_transferred == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributedError):
+            NetworkModel().transfer_cost(-1)

@@ -1,0 +1,97 @@
+"""Replicated block store tests, including failure injection."""
+
+import pytest
+
+from repro.distributed.cluster import Cluster
+from repro.distributed.dfs import BlockStore
+from repro.errors import DistributedError
+from repro.hardware.event import PerfCounters
+
+
+@pytest.fixture
+def store():
+    return BlockStore(Cluster(node_count=4), replication=3, block_size=100)
+
+
+class TestWriteRead:
+    def test_roundtrip(self, store):
+        payload = bytes(range(250)) * 2  # 500 bytes -> 5 blocks
+        store.write("/t", payload)
+        reader = store.cluster.nodes[0]
+        data, __ = store.read("/t", reader)
+        assert data == payload
+
+    def test_blocks_split_by_size(self, store):
+        store.write("/t", b"x" * 250)
+        assert len(store.file("/t").blocks) == 3
+
+    def test_replication_factor(self, store):
+        store.write("/t", b"x" * 250)
+        for block in store.file("/t").blocks:
+            assert len(block.replicas) == 3
+
+    def test_write_once(self, store):
+        store.write("/t", b"x")
+        with pytest.raises(DistributedError):
+            store.write("/t", b"y")
+
+    def test_remote_read_costs_network(self, store):
+        store.write("/t", b"x" * 100)
+        replicas = store.file("/t").blocks[0].replica_nodes
+        remote = next(n for n in store.cluster.nodes if n.name not in replicas)
+        local = store.cluster.node(replicas[0])
+        __, remote_cost = store.read("/t", remote)
+        __, local_cost = store.read("/t", local)
+        assert local_cost == 0.0
+        assert remote_cost > 0.0
+
+    def test_unknown_path(self, store):
+        with pytest.raises(DistributedError):
+            store.read("/ghost", store.cluster.nodes[0])
+
+    def test_delete_frees_disks(self, store):
+        store.write("/t", b"x" * 300)
+        used = sum(node.disk.used for node in store.cluster.nodes)
+        assert used == 900
+        store.delete("/t")
+        assert sum(node.disk.used for node in store.cluster.nodes) == 0
+
+    def test_empty_payload(self, store):
+        store.write("/empty", b"")
+        data, __ = store.read("/empty", store.cluster.nodes[0])
+        assert data == b""
+
+
+class TestFaultTolerance:
+    def test_node_failure_under_replicates(self, store):
+        store.write("/t", b"x" * 100)
+        victim = store.file("/t").blocks[0].replica_nodes[0]
+        lost = store.fail_node(victim)
+        assert lost == 1
+        assert store.under_replicated() == [("/t", 0)]
+
+    def test_re_replication_restores(self, store):
+        store.write("/t", b"x" * 200)
+        victim = store.file("/t").blocks[0].replica_nodes[0]
+        store.fail_node(victim)
+        counters = PerfCounters()
+        created = store.re_replicate(counters)
+        assert created >= 1
+        assert store.under_replicated() == []
+        assert counters.bytes_transferred > 0
+
+    def test_data_survives_single_failure(self, store):
+        payload = b"precious" * 40
+        store.write("/t", payload)
+        victim = store.file("/t").blocks[0].replica_nodes[0]
+        store.fail_node(victim)
+        survivor = next(
+            n for n in store.cluster.nodes
+            if n.name in store.file("/t").blocks[0].replica_nodes
+        )
+        data, __ = store.read("/t", survivor)
+        assert data == payload
+
+    def test_replication_over_cluster_size_rejected(self):
+        with pytest.raises(DistributedError):
+            BlockStore(Cluster(node_count=2), replication=3)

@@ -1,0 +1,115 @@
+"""CoGaDB tests: all-or-nothing placement, HyPE routing, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.engines.cogadb import CoGaDBEngine, HypeScheduler
+from repro.errors import EngineError
+from repro.execution import ExecutionContext
+from repro.hardware import Platform
+from repro.workload import item_schema
+
+
+@pytest.fixture
+def engine(loaded_item_engine_factory):
+    return loaded_item_engine_factory(CoGaDBEngine)
+
+
+class TestPlacement:
+    def test_place_column_replicates(self, engine):
+        cogadb, platform = engine
+        ctx = ExecutionContext(platform)
+        (report,) = cogadb.place_columns("item", ("i_price",), ctx)
+        assert report.placed
+        assert platform.device_memory.used == 500 * 8
+        # Host copy still present (replication, not migration).
+        host_layout = cogadb.layouts("item")[1]
+        assert all(f.space is platform.host_memory for f in host_layout.fragments)
+
+    def test_all_or_nothing_fallback(self, small_items):
+        platform = Platform.paper_testbed(device_capacity=100)
+        cogadb = CoGaDBEngine(platform)
+        cogadb.create("item", item_schema())
+        cogadb.load("item", small_items)
+        ctx = ExecutionContext(platform)
+        (report,) = cogadb.place_columns("item", ("i_price",), ctx)
+        assert not report.placed
+        assert "fallback" in report.reason
+        assert platform.device_memory.used == 0
+        assert ctx.counters.bytes_transferred == 0
+
+    def test_double_placement_noop(self, engine):
+        cogadb, platform = engine
+        ctx = ExecutionContext(platform)
+        cogadb.place_columns("item", ("i_price",), ctx)
+        (report,) = cogadb.place_columns("item", ("i_price",), ctx)
+        assert not report.placed
+
+    def test_unknown_column_rejected(self, engine):
+        cogadb, platform = engine
+        with pytest.raises(EngineError):
+            cogadb.place_columns("item", ("ghost",), ExecutionContext(platform))
+
+
+class TestHype:
+    def test_prediction_prefers_gpu_when_resident(self, platform):
+        scheduler = HypeScheduler(platform)
+        assert scheduler.choose_sum_device(5_000_000, 8, on_device=True) == "gpu"
+
+    def test_prediction_prefers_cpu_when_transfer_needed(self, platform):
+        scheduler = HypeScheduler(platform)
+        assert scheduler.choose_sum_device(5_000_000, 8, on_device=False) == "cpu"
+
+    def test_prediction_prefers_cpu_for_tiny_inputs(self, platform):
+        scheduler = HypeScheduler(platform)
+        assert scheduler.choose_sum_device(100, 8, on_device=True) == "cpu"
+
+    def test_calibration_learns_ratio(self, platform):
+        scheduler = HypeScheduler(platform)
+        for __ in range(40):
+            scheduler.observe("cpu", raw_predicted=100.0, observed=200.0)
+        assert scheduler.cpu_calibration == pytest.approx(2.0, rel=0.05)
+
+    def test_calibration_flips_decision(self, platform):
+        scheduler = HypeScheduler(platform)
+        count = 2_000_000
+        baseline = scheduler.choose_sum_device(count, 8, on_device=True)
+        assert baseline == "gpu"
+        # The GPU turns out 100x slower than modeled; HyPE adapts.
+        raw = scheduler.raw_predict_sum(count, 8, True)[1]
+        for __ in range(60):
+            scheduler.observe("gpu", raw, raw * 100)
+        assert scheduler.choose_sum_device(count, 8, on_device=True) == "cpu"
+
+    def test_bad_observations_rejected(self, platform):
+        scheduler = HypeScheduler(platform)
+        with pytest.raises(EngineError):
+            scheduler.observe("cpu", 0.0, 10.0)
+        with pytest.raises(EngineError):
+            scheduler.observe("tpu", 1.0, 1.0)
+
+
+class TestRoutedQueries:
+    def test_sum_correct_via_either_device(self, engine, small_items):
+        cogadb, platform = engine
+        ctx = ExecutionContext(platform)
+        expected = float(np.sum(small_items["i_price"]))
+        assert cogadb.sum("item", "i_price", ctx) == pytest.approx(expected)
+        cogadb.place_columns("item", ("i_price",), ctx)
+        assert cogadb.sum("item", "i_price", ctx) == pytest.approx(expected)
+
+    def test_decisions_recorded(self, engine):
+        cogadb, platform = engine
+        ctx = ExecutionContext(platform)
+        cogadb.sum("item", "i_price", ctx)
+        assert cogadb.scheduler.decisions
+
+    def test_update_keeps_replica_coherent(self, engine):
+        cogadb, platform = engine
+        ctx = ExecutionContext(platform)
+        cogadb.place_columns("item", ("i_price",), ctx)
+        cogadb.update("item", 3, "i_price", 42.0, ctx)
+        mixed = cogadb.layouts("item")[0]
+        replica = mixed.fragments_for_attribute("i_price")[0]
+        assert replica.space is platform.device_memory
+        assert replica.read_field(3, "i_price") == 42.0

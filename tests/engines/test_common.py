@@ -1,0 +1,196 @@
+"""Cross-engine contract tests: every engine, one behaviour matrix.
+
+Each surveyed engine (plus the reference design) must answer the same
+queries with the same correct values, keep replicas coherent under
+updates, refuse misuse consistently, and expose a capability record
+consistent with its live mechanisms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import check_capability_consistency
+from repro.core.reference_engine import ReferenceEngine
+from repro.engines import (
+    CoGaDBEngine,
+    ES2Engine,
+    FracturedMirrorsEngine,
+    GpuTxEngine,
+    H2OEngine,
+    HyperEngine,
+    HyriseEngine,
+    LStoreEngine,
+    PaxEngine,
+    PelotonEngine,
+)
+from repro.errors import EngineError
+from repro.execution import ExecutionContext
+from repro.hardware import Platform
+from repro.workload import generate_items, item_schema
+
+ROWS = 400
+
+ENGINE_FACTORIES = {
+    "PAX": lambda p: PaxEngine(p, buffer_pool_pages=64),
+    "Frac. Mirrors": FracturedMirrorsEngine,
+    "HYRISE": HyriseEngine,
+    "ES2": lambda p: ES2Engine(p, partition_rows=128),
+    "GPUTx": GpuTxEngine,
+    "H2O": lambda p: H2OEngine(p, hot_columns=("i_price",)),
+    "HyPer": lambda p: HyperEngine(p, chunk_rows=128),
+    "CoGaDB": CoGaDBEngine,
+    "L-Store": LStoreEngine,
+    "Peloton": lambda p: PelotonEngine(p, tile_group_rows=128),
+    "Reference": lambda p: ReferenceEngine(p, delta_tile_rows=128),
+}
+
+
+@pytest.fixture(scope="module")
+def columns():
+    return generate_items(ROWS)
+
+
+@pytest.fixture(params=sorted(ENGINE_FACTORIES))
+def loaded(request, columns):
+    platform = Platform.paper_testbed()
+    engine = ENGINE_FACTORIES[request.param](platform)
+    engine.create("item", item_schema())
+    engine.load("item", columns)
+    return engine, platform, columns
+
+
+class TestQueryContract:
+    def test_sum_matches_numpy(self, loaded):
+        engine, platform, columns = loaded
+        ctx = ExecutionContext(platform)
+        total = engine.sum("item", "i_price", ctx)
+        assert total == pytest.approx(float(np.sum(columns["i_price"])))
+        assert ctx.cycles > 0
+
+    def test_materialize_returns_full_rows(self, loaded):
+        engine, platform, columns = loaded
+        ctx = ExecutionContext(platform)
+        rows = engine.materialize("item", [0, 123, ROWS - 1], ctx)
+        assert len(rows) == 3
+        for row, position in zip(rows, (0, 123, ROWS - 1)):
+            assert row[0] == int(columns["i_id"][position])
+            assert row[4] == pytest.approx(float(columns["i_price"][position]))
+
+    def test_sum_at_positions(self, loaded):
+        engine, platform, columns = loaded
+        ctx = ExecutionContext(platform)
+        positions = [3, 77, 200]
+        expected = float(np.sum(columns["i_price"][positions]))
+        assert engine.sum_at("item", "i_price", positions, ctx) == pytest.approx(expected)
+
+    def test_update_visible_everywhere(self, loaded):
+        engine, platform, columns = loaded
+        ctx = ExecutionContext(platform)
+        before = float(np.sum(columns["i_price"]))
+        old = float(columns["i_price"][42])
+        engine.update("item", 42, "i_price", 500.0, ctx)
+        assert engine.sum("item", "i_price", ctx) == pytest.approx(before - old + 500.0)
+        row = engine.materialize("item", [42], ctx)[0]
+        assert row[4] == pytest.approx(500.0)
+
+    def test_point_query_by_primary_key(self, loaded):
+        engine, platform, columns = loaded
+        ctx = ExecutionContext(platform)
+        row = engine.point_query("item", 123, ctx)
+        assert row is not None and row[0] == 123
+        assert engine.point_query("item", 10**9, ctx) is None
+
+
+class TestLifecycle:
+    def test_unknown_relation_rejected(self, loaded):
+        engine, platform, __ = loaded
+        with pytest.raises(EngineError):
+            engine.sum("ghost", "x", ExecutionContext(platform))
+
+    def test_double_create_rejected(self, loaded):
+        engine, __, __ = loaded
+        with pytest.raises(EngineError):
+            engine.create("item", item_schema())
+
+    def test_double_load_rejected(self, loaded, columns):
+        engine, __, __ = loaded
+        with pytest.raises(EngineError):
+            engine.load("item", columns)
+
+    def test_trace_records_accesses(self, loaded):
+        engine, platform, __ = loaded
+        ctx = ExecutionContext(platform)
+        before = len(engine.managed("item").trace)
+        engine.sum("item", "i_price", ctx)
+        engine.update("item", 0, "i_price", 1.0, ctx)
+        assert len(engine.managed("item").trace) >= before + 2
+
+
+class TestClassificationSurface:
+    def test_capabilities_consistent_with_mechanisms(self, loaded):
+        engine, __, __ = loaded
+        assert check_capability_consistency(engine, "item") == []
+
+    def test_layouts_cover_relation(self, loaded):
+        engine, __, __ = loaded
+        for layout in engine.layouts("item"):
+            layout.validate()
+
+    def test_fragment_population_nonempty(self, loaded):
+        engine, __, __ = loaded
+        assert engine.fragment_population("item")
+
+    def test_static_engines_refuse_reorganize(self, loaded):
+        engine, platform, __ = loaded
+        ctx = ExecutionContext(platform)
+        if engine.is_responsive:
+            engine.reorganize("item", ctx)  # must not raise
+        else:
+            with pytest.raises(EngineError):
+                engine.reorganize("item", ctx)
+
+
+class TestPhantomLoads:
+    def test_phantom_load_costs_match_geometry(self, loaded):
+        """A phantom load of the same engine prices sums identically to
+        the materialized instance (cost plane is payload-independent)."""
+        engine, platform, columns = loaded
+        if engine.name == "ES2":
+            pytest.skip("ES2 writes real payloads to the DFS on load")
+        fresh_platform = Platform.paper_testbed()
+        phantom = ENGINE_FACTORIES[engine.name](fresh_platform)
+        phantom.create("item", item_schema())
+        phantom.load_phantom("item", ROWS)
+        real_ctx = ExecutionContext(platform)
+        phantom_ctx = ExecutionContext(fresh_platform)
+        engine.sum("item", "i_price", real_ctx)
+        phantom.sum("item", "i_price", phantom_ctx)
+        assert phantom_ctx.cycles == pytest.approx(real_ctx.cycles, rel=1e-6)
+
+
+class TestPrimaryKeyImmutability:
+    def test_pk_updates_rejected(self, loaded):
+        """The hash index is keyed on the first attribute; mutating it
+        would silently desynchronize point queries — so it is refused."""
+        engine, platform, __ = loaded
+        ctx = ExecutionContext(platform)
+        with pytest.raises(EngineError):
+            engine.update("item", 3, "i_id", 999_999, ctx)
+        # The index still resolves correctly afterwards.
+        assert engine.point_query("item", 3, ctx)[0] == 3
+
+
+class TestUnknownAttributeContract:
+    def test_sum_on_unknown_attribute_raises_cleanly(self, loaded):
+        from repro.errors import ReproError
+
+        engine, platform, __ = loaded
+        with pytest.raises(ReproError):
+            engine.sum("item", "no_such_column", ExecutionContext(platform))
+
+    def test_update_on_unknown_attribute_raises_cleanly(self, loaded):
+        from repro.errors import ReproError
+
+        engine, platform, __ = loaded
+        with pytest.raises(ReproError):
+            engine.update("item", 0, "no_such_column", 1.0, ExecutionContext(platform))

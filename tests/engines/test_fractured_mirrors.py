@@ -1,0 +1,71 @@
+"""Fractured Mirrors tests: mirror routing, striping, coherence."""
+
+import pytest
+
+from repro.engines.fractured_mirrors import FracturedMirrorsEngine
+from repro.errors import EngineError
+from repro.execution import ExecutionContext
+from repro.layout.linearization import LinearizationKind
+
+
+@pytest.fixture
+def engine(loaded_item_engine_factory):
+    return loaded_item_engine_factory(FracturedMirrorsEngine)
+
+
+class TestMirrors:
+    def test_two_layouts_one_per_format(self, engine):
+        mirrors, __ = engine
+        kinds = {
+            layout.fragments[0].linearization for layout in mirrors.layouts("item")
+        }
+        assert kinds == {LinearizationKind.NSM, LinearizationKind.DSM}
+
+    def test_mirrors_on_distinct_spindles(self, engine):
+        mirrors, __ = engine
+        spaces = {
+            layout.fragments[0].space.name for layout in mirrors.layouts("item")
+        }
+        assert len(spaces) == 2
+
+    def test_needs_two_disks(self, platform):
+        with pytest.raises(EngineError):
+            FracturedMirrorsEngine(platform, disk_count=1)
+
+
+class TestRouting:
+    def test_sum_uses_dsm_mirror(self, engine, small_items):
+        """Attribute-centric work must be cheaper than on the NSM mirror."""
+        mirrors, platform = engine
+        from repro.execution.operators import sum_column
+
+        routed = ExecutionContext(platform)
+        forced_nsm = ExecutionContext(platform)
+        mirrors.sum("item", "i_price", routed)
+        sum_column(
+            mirrors._mirror("item", LinearizationKind.NSM), "i_price", forced_nsm
+        )
+        assert routed.cycles <= forced_nsm.cycles
+
+    def test_materialize_uses_nsm_mirror(self, engine):
+        mirrors, platform = engine
+        from repro.execution.operators import materialize_rows
+
+        routed = ExecutionContext(platform)
+        forced_dsm = ExecutionContext(platform)
+        positions = [1, 100, 400]
+        mirrors.materialize("item", positions, routed)
+        materialize_rows(
+            mirrors._mirror("item", LinearizationKind.DSM), positions, forced_dsm
+        )
+        assert routed.cycles <= forced_dsm.cycles
+
+    def test_update_keeps_mirrors_coherent(self, engine, small_items):
+        mirrors, platform = engine
+        ctx = ExecutionContext(platform)
+        mirrors.update("item", 7, "i_price", 77.0, ctx)
+        nsm = mirrors._mirror("item", LinearizationKind.NSM).fragments[0]
+        dsm = mirrors._mirror("item", LinearizationKind.DSM).fragments[0]
+        assert nsm.read_field(7, "i_price") == 77.0
+        assert dsm.read_field(7, "i_price") == 77.0
+        assert ctx.counters.bytes_written == 16  # one write per mirror

@@ -1,0 +1,154 @@
+"""Generic baseline engines: the taxonomy's unreached corners, reached."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import classify
+from repro.core.taxonomy import LayoutHandling
+from repro.engines import (
+    ColumnStoreEngine,
+    EmulatedMultiLayoutEngine,
+    NsmEmulatedEngine,
+    RowStoreEngine,
+)
+from repro.errors import EngineError
+from repro.execution import ExecutionContext
+from repro.hardware import Platform
+from repro.layout.properties import LinearizationProperty
+from repro.model.datatypes import FLOAT64
+from repro.model.schema import Schema
+from repro.workload import generate_items, item_schema
+
+ROWS = 200
+
+
+@pytest.fixture(scope="module")
+def columns():
+    return generate_items(ROWS)
+
+
+def build(engine_cls, columns):
+    platform = Platform.paper_testbed()
+    engine = engine_cls(platform)
+    engine.create("item", item_schema())
+    engine.load("item", columns)
+    return engine, platform
+
+
+class TestBaselines:
+    @pytest.mark.parametrize(
+        "engine_cls", [RowStoreEngine, ColumnStoreEngine, NsmEmulatedEngine]
+    )
+    def test_query_contract(self, engine_cls, columns):
+        engine, platform = build(engine_cls, columns)
+        ctx = ExecutionContext(platform)
+        assert engine.sum("item", "i_price", ctx) == pytest.approx(
+            float(np.sum(columns["i_price"]))
+        )
+        assert engine.materialize("item", [7], ctx)[0][0] == 7
+        engine.update("item", 7, "i_price", 1.0, ctx)
+        assert engine.materialize("item", [7], ctx)[0][4] == 1.0
+
+    def test_row_store_classification(self, columns):
+        engine, __ = build(RowStoreEngine, columns)
+        classification = classify(engine, "item")
+        assert classification.linearization is LinearizationProperty.FAT_NSM_FIXED
+
+    def test_column_store_classification(self, columns):
+        engine, __ = build(ColumnStoreEngine, columns)
+        classification = classify(engine, "item")
+        assert classification.linearization is LinearizationProperty.THIN_DSM_EMULATED
+
+    def test_nsm_emulated_classification(self, columns):
+        engine, __ = build(NsmEmulatedEngine, columns)
+        classification = classify(engine, "item")
+        assert classification.linearization is LinearizationProperty.THIN_NSM_EMULATED
+
+    def test_single_attribute_relation_is_direct(self):
+        platform = Platform.paper_testbed()
+        engine = ColumnStoreEngine(platform)
+        engine.create("narrow", Schema.of(("v", FLOAT64)))
+        engine.load("narrow", {"v": np.arange(10, dtype=np.float64)})
+        classification = classify(engine, "narrow")
+        assert classification.linearization is LinearizationProperty.DIRECT
+
+    def test_nsm_emulated_row_cap(self):
+        platform = Platform.paper_testbed()
+        engine = NsmEmulatedEngine(platform)
+        engine.create("item", item_schema())
+        with pytest.raises(EngineError):
+            engine.load_phantom("item", NsmEmulatedEngine.MAX_ROWS + 1)
+
+    def test_nsm_emulated_record_bytes(self, columns):
+        """Each per-record fragment serializes as one NSM record."""
+        from repro.layout.linearization import nsm_serialize
+
+        engine, __ = build(NsmEmulatedEngine, columns)
+        fragment = engine.layouts("item")[0].fragments[3]
+        row = fragment.read_row(0)
+        assert fragment.serialize() == nsm_serialize(item_schema(), [row])
+
+
+class TestEmulatedMultiLayout:
+    def test_classified_as_emulated_multi(self, columns):
+        engine, __ = build(EmulatedMultiLayoutEngine, columns)
+        classification = classify(engine, "item")
+        assert classification.layout_handling is LayoutHandling.MULTI_EMULATED
+
+    def test_reads_route_by_shape(self, columns):
+        engine, platform = build(EmulatedMultiLayoutEngine, columns)
+        scan_ctx = ExecutionContext(platform)
+        point_ctx = ExecutionContext(platform)
+        engine.sum("item", "i_price", scan_ctx)
+        engine.materialize("item", [3], point_ctx)
+        # The scan must be priced as a columnar stream, far below the
+        # NSM replica's strided cost for the same work.
+        from repro.execution.operators import sum_column
+
+        nsm_ctx = ExecutionContext(platform)
+        sum_column(engine.row_replica.layouts("item")[0], "i_price", nsm_ctx)
+        assert scan_ctx.cycles < nsm_ctx.cycles
+
+    def test_writes_replicate_to_both(self, columns):
+        engine, platform = build(EmulatedMultiLayoutEngine, columns)
+        ctx = ExecutionContext(platform)
+        engine.update("item", 5, "i_price", 9.0, ctx)
+        row_value = engine.row_replica.materialize("item", [5], ctx)[0][4]
+        column_value = engine.column_replica.materialize("item", [5], ctx)[0][4]
+        assert row_value == column_value == 9.0
+
+    def test_replication_doubles_memory(self, columns):
+        platform = Platform.paper_testbed()
+        engine = EmulatedMultiLayoutEngine(platform)
+        engine.create("item", item_schema())
+        engine.load("item", columns)
+        assert platform.host_memory.used == 2 * ROWS * 28
+
+    def test_sum_matches_oracle(self, columns):
+        engine, platform = build(EmulatedMultiLayoutEngine, columns)
+        ctx = ExecutionContext(platform)
+        assert engine.sum("item", "i_price", ctx) == pytest.approx(
+            float(np.sum(columns["i_price"]))
+        )
+
+    def test_point_query(self, columns):
+        engine, platform = build(EmulatedMultiLayoutEngine, columns)
+        ctx = ExecutionContext(platform)
+        assert engine.point_query("item", 9, ctx)[0] == 9
+
+
+class TestEmulatedMultiLifecycle:
+    def test_drop_frees_both_replicas(self, columns):
+        platform = Platform.paper_testbed()
+        engine = EmulatedMultiLayoutEngine(platform)
+        engine.create("item", item_schema())
+        engine.load("item", columns)
+        assert platform.host_memory.used == 2 * ROWS * 28
+        engine.drop("item")
+        assert platform.host_memory.used == 0
+        with pytest.raises(EngineError):
+            engine.sum("item", "i_price", ExecutionContext(platform))
+        # Inner replicas forgot the relation too: the name is reusable.
+        engine.create("item", item_schema())
+        engine.load("item", columns)
+        assert engine.relation("item").row_count == ROWS

@@ -1,0 +1,180 @@
+"""GPUTx tests: bulk amortization, transaction kinds, residency."""
+
+import numpy as np
+import pytest
+
+from repro.engines.gputx import GpuTxEngine, Transaction, TxKind
+from repro.errors import EngineError, TransactionError
+from repro.execution import ExecutionContext
+from repro.hardware.memory import MemoryKind
+
+
+@pytest.fixture
+def engine(loaded_item_engine_factory):
+    return loaded_item_engine_factory(GpuTxEngine)
+
+
+class TestResidency:
+    def test_relations_live_on_device(self, engine):
+        gputx, platform = engine
+        for fragment in gputx.fragment_population("item"):
+            assert fragment.space.kind is MemoryKind.DEVICE
+
+    def test_result_pool_in_host(self, engine):
+        gputx, platform = engine
+        assert gputx.result_pool.space is platform.host_memory
+
+
+class TestBulkExecution:
+    def test_read_transactions(self, engine, small_items):
+        gputx, platform = engine
+        ctx = ExecutionContext(platform)
+        results = gputx.execute_bulk(
+            "item",
+            [Transaction(TxKind.READ, 5, "i_price"), Transaction(TxKind.READ, 9, "i_id")],
+            ctx,
+        )
+        assert results[0] == pytest.approx(float(small_items["i_price"][5]))
+        assert results[1] == 9
+
+    def test_update_and_increment(self, engine):
+        gputx, platform = engine
+        ctx = ExecutionContext(platform)
+        gputx.execute_bulk(
+            "item",
+            [
+                Transaction(TxKind.UPDATE, 0, "i_price", 10.0),
+                Transaction(TxKind.INCREMENT, 0, "i_price", 2.5),
+            ],
+            ctx,
+        )
+        (value,) = gputx.execute_bulk(
+            "item", [Transaction(TxKind.READ, 0, "i_price")], ctx
+        )
+        assert value == pytest.approx(12.5)
+
+    def test_one_kernel_per_bulk(self, engine):
+        gputx, platform = engine
+        ctx = ExecutionContext(platform)
+        batch = [Transaction(TxKind.READ, i, "i_price") for i in range(64)]
+        gputx.execute_bulk("item", batch, ctx)
+        assert ctx.counters.kernel_launches == 1
+
+    def test_bulk_amortizes_launch_cost(self, engine):
+        """He & Yu's point: K-at-a-time beats one-at-a-time."""
+        gputx, platform = engine
+        batch = [Transaction(TxKind.READ, i, "i_price") for i in range(256)]
+        bulk_ctx = ExecutionContext(platform)
+        serial_ctx = ExecutionContext(platform)
+        gputx.execute_bulk("item", batch, bulk_ctx)
+        for transaction in batch:
+            gputx.execute_bulk("item", [transaction], serial_ctx)
+        assert bulk_ctx.cycles * 10 < serial_ctx.cycles
+
+    def test_empty_bulk_is_free(self, engine):
+        gputx, platform = engine
+        ctx = ExecutionContext(platform)
+        assert gputx.execute_bulk("item", [], ctx) == []
+        assert ctx.cycles == 0
+
+    def test_out_of_range_position(self, engine):
+        gputx, platform = engine
+        with pytest.raises(TransactionError):
+            gputx.execute_bulk(
+                "item", [Transaction(TxKind.READ, 10**6, "i_price")],
+                ExecutionContext(platform),
+            )
+
+    def test_write_needs_value(self):
+        with pytest.raises(TransactionError):
+            Transaction(TxKind.UPDATE, 0, "i_price")
+
+    def test_result_pool_overflow(self, platform, small_items):
+        from repro.workload import item_schema
+
+        gputx = GpuTxEngine(platform, result_pool_bytes=64)
+        gputx.create("item", item_schema())
+        gputx.load("item", small_items)
+        batch = [Transaction(TxKind.READ, i, "i_price") for i in range(100)]
+        with pytest.raises(EngineError):
+            gputx.execute_bulk("item", batch, ExecutionContext(platform))
+
+
+class TestDeviceReads:
+    def test_sum_runs_on_device(self, engine, small_items):
+        gputx, platform = engine
+        ctx = ExecutionContext(platform)
+        total = gputx.sum("item", "i_price", ctx)
+        assert total == pytest.approx(float(np.sum(small_items["i_price"])))
+        assert ctx.counters.kernel_launches == 2
+        # Device-resident: no column-sized PCIe traffic.
+        assert ctx.counters.bytes_transferred < 100
+
+    def test_materialize_via_result_pool(self, engine, small_items):
+        gputx, platform = engine
+        ctx = ExecutionContext(platform)
+        rows = gputx.materialize("item", [3, 4], ctx)
+        assert rows[0][0] == 3
+        assert ctx.counters.bytes_transferred > 0
+
+
+class TestConflictWaves:
+    """K-set semantics: conflicting transactions serialize into waves."""
+
+    def test_conflict_free_batch_is_one_wave(self):
+        batch = [Transaction(TxKind.UPDATE, i, "i_price", 1.0) for i in range(50)]
+        assert len(GpuTxEngine.plan_waves(batch)) == 1
+
+    def test_reads_never_conflict(self):
+        batch = [Transaction(TxKind.READ, 5, "i_price") for __ in range(50)]
+        assert len(GpuTxEngine.plan_waves(batch)) == 1
+
+    def test_same_cell_writes_serialize(self):
+        batch = [Transaction(TxKind.INCREMENT, 5, "i_price", 1.0) for __ in range(4)]
+        waves = GpuTxEngine.plan_waves(batch)
+        assert len(waves) == 4
+        assert [wave[0] for wave in waves] == [0, 1, 2, 3]  # program order
+
+    def test_read_write_same_cell_conflicts(self):
+        batch = [
+            Transaction(TxKind.READ, 5, "i_price"),
+            Transaction(TxKind.UPDATE, 5, "i_price", 1.0),
+        ]
+        assert len(GpuTxEngine.plan_waves(batch)) == 2
+
+    def test_distinct_attributes_same_row_are_independent(self):
+        batch = [
+            Transaction(TxKind.UPDATE, 5, "i_price", 1.0),
+            Transaction(TxKind.UPDATE, 5, "i_im_id", 7),
+        ]
+        assert len(GpuTxEngine.plan_waves(batch)) == 1
+
+    def test_conflicting_increments_apply_in_order(self, engine):
+        gputx, platform = engine
+        ctx = ExecutionContext(platform)
+        gputx.execute_bulk(
+            "item",
+            [Transaction(TxKind.UPDATE, 7, "i_price", 10.0)]
+            + [Transaction(TxKind.INCREMENT, 7, "i_price", 1.0)] * 5,
+            ctx,
+        )
+        (value,) = gputx.execute_bulk(
+            "item", [Transaction(TxKind.READ, 7, "i_price")], ctx
+        )
+        assert value == pytest.approx(15.0)
+
+    def test_waves_cost_extra_launches(self, engine):
+        gputx, platform = engine
+        serial = ExecutionContext(platform)
+        parallel = ExecutionContext(platform)
+        conflicting = [
+            Transaction(TxKind.INCREMENT, 0, "i_price", 1.0) for __ in range(16)
+        ]
+        independent = [
+            Transaction(TxKind.INCREMENT, i, "i_price", 1.0) for i in range(16)
+        ]
+        gputx.execute_bulk("item", conflicting, serial)
+        gputx.execute_bulk("item", independent, parallel)
+        assert serial.counters.kernel_launches == 16
+        assert parallel.counters.kernel_launches == 1
+        assert serial.cycles > parallel.cycles

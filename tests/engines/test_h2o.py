@@ -1,0 +1,87 @@
+"""H2O tests: pool evaluation, lazy adaptation, NSM-only fat fragments."""
+
+import pytest
+
+from repro.engines.h2o import H2OEngine
+from repro.execution import ExecutionContext
+from repro.layout.linearization import LinearizationKind
+
+
+@pytest.fixture
+def engine(loaded_item_engine_factory):
+    return loaded_item_engine_factory(H2OEngine, hot_columns=("i_price",))
+
+
+class TestInitialLayout:
+    def test_hot_columns_are_thin(self, engine):
+        h2o, __ = engine
+        layout = h2o.layouts("item")[0]
+        price = layout.fragment_for(0, "i_price")
+        assert price.region.attributes == ("i_price",)
+        assert price.linearization is LinearizationKind.DIRECT
+
+    def test_grouped_columns_are_nsm(self, engine):
+        h2o, __ = engine
+        layout = h2o.layouts("item")[0]
+        group = layout.fragment_for(0, "i_id")
+        assert group.linearization is LinearizationKind.NSM
+        assert group.region.arity == 4
+
+    def test_fat_fragments_never_dsm(self, engine):
+        """H2O's signature restriction: DSM exists only as emulation."""
+        h2o, __ = engine
+        for fragment in h2o.fragment_population("item"):
+            if fragment.region.is_fat:
+                assert fragment.linearization is LinearizationKind.NSM
+
+
+class TestPoolEvaluation:
+    def test_scan_workload_wins_columns(self, engine):
+        h2o, platform = engine
+        ctx = ExecutionContext(platform)
+        for __ in range(40):
+            h2o.sum("item", "i_im_id", ctx)
+        proposal = h2o.evaluate_pool("item")
+        owner = next(g for g in proposal.groups if "i_im_id" in g.attributes)
+        assert (
+            owner.linearization is LinearizationKind.DIRECT
+            or len(owner.attributes) == 1
+        )
+
+    def test_point_workload_wins_nsm_group(self, engine):
+        h2o, platform = engine
+        ctx = ExecutionContext(platform)
+        for position in range(0, 400, 7):
+            h2o.materialize("item", [position], ctx)
+        proposal = h2o.evaluate_pool("item")
+        widest = max(len(g.attributes) for g in proposal.groups)
+        assert widest == 5  # one wide NSM group
+
+    def test_reorganize_applies_winner(self, engine):
+        h2o, platform = engine
+        ctx = ExecutionContext(platform)
+        for position in range(0, 400, 7):
+            h2o.materialize("item", [position], ctx)
+        assert h2o.reorganize("item", ctx)
+        layout = h2o.layouts("item")[0]
+        assert len(layout) == 1  # back to one wide NSM fragment
+
+    def test_reorganize_lazy_noop(self, engine):
+        h2o, platform = engine
+        ctx = ExecutionContext(platform)
+        for position in range(0, 400, 7):
+            h2o.materialize("item", [position], ctx)
+        h2o.reorganize("item", ctx)
+        assert not h2o.reorganize("item", ctx)
+
+    def test_values_survive_reorganization(self, engine, small_items):
+        import numpy as np
+
+        h2o, platform = engine
+        ctx = ExecutionContext(platform)
+        for position in range(0, 400, 7):
+            h2o.materialize("item", [position], ctx)
+        h2o.reorganize("item", ctx)
+        assert h2o.sum("item", "i_price", ctx) == pytest.approx(
+            float(np.sum(small_items["i_price"]))
+        )

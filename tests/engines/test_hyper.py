@@ -1,0 +1,204 @@
+"""HyPer tests: partition/chunk/vector hierarchy, appends, compaction."""
+
+import numpy as np
+import pytest
+
+from repro.engines.hyper import HyperEngine
+from repro.errors import EngineError
+from repro.execution import ExecutionContext
+from repro.workload import generate_items, item_schema
+
+
+@pytest.fixture
+def engine(loaded_item_engine_factory):
+    return loaded_item_engine_factory(HyperEngine, chunk_rows=128)
+
+
+class TestHierarchy:
+    def test_everything_is_a_vector(self, engine):
+        hyper, __ = engine
+        for vector in hyper.fragment_population("item"):
+            assert vector.region.is_column
+
+    def test_chunk_count(self, engine):
+        hyper, __ = engine
+        layout = hyper.layouts("item")[0]
+        chunks = {f.region.rows.start for f in layout.fragments}
+        assert len(chunks) == 4  # 500 rows / 128 per chunk
+
+    def test_vectors_per_chunk_equal_arity(self, engine):
+        hyper, __ = engine
+        layout = hyper.layouts("item")[0]
+        first_chunk = [f for f in layout.fragments if f.region.rows.start == 0]
+        assert len(first_chunk) == 5
+
+    def test_custom_partitions(self, platform, small_items):
+        hyper = HyperEngine(
+            platform,
+            partitions=[("i_id", "i_im_id"), ("i_name", "i_data", "i_price")],
+            chunk_rows=128,
+        )
+        hyper.create("item", item_schema())
+        hyper.load("item", small_items)
+        layout = hyper.layouts("item")[0]
+        layout.validate()
+        assert layout.combines_partitionings
+
+    def test_bad_partitions_rejected(self, platform, small_items):
+        hyper = HyperEngine(platform, partitions=[("i_id",)])
+        hyper.create("item", item_schema())
+        with pytest.raises(EngineError):
+            hyper.load("item", small_items)
+
+
+class TestAppends:
+    def test_insert_into_tail(self, engine):
+        hyper, platform = engine
+        ctx = ExecutionContext(platform)
+        position = hyper.insert("item", (500, 9, "ZZ", "Q", 5.0), ctx)
+        assert position == 500
+        assert hyper.relation("item").row_count == 501
+        assert hyper.materialize("item", [500], ctx)[0][0] == 500
+
+    def test_insert_opens_new_chunks(self, engine):
+        hyper, platform = engine
+        ctx = ExecutionContext(platform)
+        layout = hyper.layouts("item")[0]
+        before = len(layout)
+        for i in range(130):  # crosses one chunk boundary
+            hyper.insert("item", (500 + i, 1, "AA", "B", 1.0), ctx)
+        assert len(layout) > before
+        layout.validate()
+
+    def test_inserted_rows_sum(self, engine, small_items):
+        hyper, platform = engine
+        ctx = ExecutionContext(platform)
+        for i in range(10):
+            hyper.insert("item", (500 + i, 1, "AA", "B", 2.0), ctx)
+        expected = float(np.sum(small_items["i_price"])) + 20.0
+        assert hyper.sum("item", "i_price", ctx) == pytest.approx(expected)
+
+    def test_insert_updates_pk_index(self, engine):
+        hyper, platform = engine
+        ctx = ExecutionContext(platform)
+        hyper.insert("item", (777000, 1, "AA", "B", 1.0), ctx)
+        row = hyper.point_query("item", 777000, ctx)
+        assert row is not None and row[0] == 777000
+
+    def test_wrong_arity_rejected(self, engine):
+        hyper, platform = engine
+        with pytest.raises(EngineError):
+            hyper.insert("item", (1, 2), ExecutionContext(platform))
+
+
+class TestCompaction:
+    def test_cold_chunks_merge(self, engine):
+        hyper, platform = engine
+        ctx = ExecutionContext(platform)
+        layout = hyper.layouts("item")[0]
+        before = len(layout)
+        assert hyper.reorganize("item", ctx)
+        assert len(layout) < before
+        layout.validate()
+
+    def test_values_survive_compaction(self, engine, small_items):
+        hyper, platform = engine
+        ctx = ExecutionContext(platform)
+        expected = float(np.sum(small_items["i_price"]))
+        hyper.reorganize("item", ctx)
+        assert hyper.sum("item", "i_price", ctx) == pytest.approx(expected)
+        assert hyper.materialize("item", [63, 300], ctx)[0][0] == 63
+
+    def test_compaction_frees_memory_overhead(self, engine):
+        hyper, platform = engine
+        ctx = ExecutionContext(platform)
+        used_before = platform.host_memory.used
+        hyper.reorganize("item", ctx)
+        assert platform.host_memory.used == used_before  # same payload
+
+    def test_nothing_to_compact_returns_false(self, platform, small_items):
+        hyper = HyperEngine(platform, chunk_rows=1000)  # single chunk
+        hyper.create("item", item_schema())
+        hyper.load("item", small_items)
+        assert not hyper.reorganize("item", ExecutionContext(platform))
+
+
+class TestFrozenCompression:
+    """Funke et al.: compaction compresses the cold (frozen) data."""
+
+    @pytest.fixture
+    def compressible_engine(self):
+        from repro.hardware import Platform
+        from repro.workload import item_schema
+
+        platform = Platform.paper_testbed()
+        engine = HyperEngine(platform, chunk_rows=100, compress_frozen=True)
+        engine.create("item", item_schema())
+        rng = np.random.default_rng(3)
+        rows = 500
+        columns = {
+            "i_id": np.arange(rows, dtype="<i8"),
+            "i_im_id": rng.integers(0, 8, rows, dtype="<i4"),
+            "i_name": np.full(rows, b"WIDGET", dtype="S6"),
+            "i_data": np.full(rows, b"XY", dtype="S2"),
+            "i_price": rng.integers(1, 50, rows).astype("<f8"),
+        }
+        engine.load("item", columns)
+        return engine, platform, columns
+
+    def test_frozen_chunks_are_compressed(self, compressible_engine):
+        engine, platform, __ = compressible_engine
+        ctx = ExecutionContext(platform)
+        assert engine.reorganize("item", ctx)
+        layout = engine.layouts("item")[0]
+        frozen = [f for f in layout.fragments if "frozen" in f.label]
+        assert frozen
+        assert any(f.is_compressed for f in frozen)
+        # The hot tail chunk stays raw (write path open).
+        tail = layout.fragments_for_attribute("i_price")[-1]
+        assert not tail.is_compressed
+
+    def test_values_survive_frozen_compression(self, compressible_engine):
+        engine, platform, columns = compressible_engine
+        ctx = ExecutionContext(platform)
+        expected = float(np.sum(columns["i_price"]))
+        engine.reorganize("item", ctx)
+        assert engine.sum("item", "i_price", ctx) == pytest.approx(expected)
+        assert engine.materialize("item", [50], ctx)[0][0] == 50
+
+    def test_memory_shrinks(self, compressible_engine):
+        engine, platform, __ = compressible_engine
+        used = platform.host_memory.used
+        engine.reorganize("item", ExecutionContext(platform))
+        assert platform.host_memory.used < used
+
+
+class TestFrozenReadOnly:
+    def test_update_of_frozen_row_rejected(self):
+        """Frozen+compressed chunks are read-only; the real system sends
+        such updates to versioned deltas (documented simplification)."""
+        from repro.errors import StorageError
+        from repro.hardware import Platform
+        from repro.workload import generate_items, item_schema
+
+        platform = Platform.paper_testbed()
+        engine = HyperEngine(platform, chunk_rows=100, compress_frozen=True)
+        engine.create("item", item_schema())
+        rows = 500
+        columns = generate_items(rows)
+        columns["i_im_id"] = (np.arange(rows) % 4).astype("<i4")  # compressible
+        engine.load("item", columns)
+        ctx = ExecutionContext(platform)
+        engine.reorganize("item", ctx)
+        frozen = [
+            f
+            for f in engine.layouts("item")[0].fragments
+            if f.is_compressed and f.region.attributes != ("i_id",)
+        ]
+        assert frozen
+        position = frozen[0].region.rows.start
+        attribute = frozen[0].region.attributes[0]
+        with pytest.raises(StorageError):
+            engine.update("item", position, attribute, 1, ctx)
+        # Rows in the hot tail stay writable.
+        engine.update("item", rows - 1, "i_price", 1.0, ctx)

@@ -1,0 +1,135 @@
+"""HYRISE tests: containers, affinity-driven re-adaptation."""
+
+import pytest
+
+from repro.engines.hyrise import HyriseEngine
+from repro.errors import EngineError
+from repro.execution import ExecutionContext
+from repro.layout.linearization import LinearizationKind
+from repro.workload import item_schema
+
+
+class TestContainers:
+    def test_default_is_single_nsm_container(self, loaded_item_engine_factory):
+        engine, __ = loaded_item_engine_factory(HyriseEngine)
+        layout = engine.layouts("item")[0]
+        assert len(layout) == 1
+        assert layout.fragments[0].linearization is LinearizationKind.NSM
+
+    def test_custom_containers(self, loaded_item_engine_factory):
+        engine, __ = loaded_item_engine_factory(
+            HyriseEngine,
+            initial_containers=[
+                (("i_id", "i_im_id"), LinearizationKind.DSM),
+                (("i_name", "i_data"), LinearizationKind.NSM),
+                (("i_price",), LinearizationKind.DIRECT),
+            ],
+        )
+        layout = engine.layouts("item")[0]
+        assert len(layout) == 3
+        assert layout.is_sub_relation_layout
+
+    def test_bad_containers_rejected(self, platform, small_items):
+        engine = HyriseEngine(
+            platform, initial_containers=[(("i_id",), LinearizationKind.DIRECT)]
+        )
+        engine.create("item", item_schema())
+        with pytest.raises(EngineError):
+            engine.load("item", small_items)
+
+
+class TestAdaptation:
+    def run_scans(self, engine, platform, attribute, count=30):
+        ctx = ExecutionContext(platform)
+        for __ in range(count):
+            engine.sum("item", attribute, ctx)
+        return ctx
+
+    def test_scan_workload_splits_hot_column(self, loaded_item_engine_factory):
+        engine, platform = loaded_item_engine_factory(HyriseEngine)
+        self.run_scans(engine, platform, "i_price")
+        assert engine.reorganize("item", ExecutionContext(platform))
+        layout = engine.layouts("item")[0]
+        price_fragment = layout.fragment_for(0, "i_price")
+        assert price_fragment.region.attributes == ("i_price",)
+
+    def test_point_workload_keeps_wide_nsm(self, loaded_item_engine_factory):
+        engine, platform = loaded_item_engine_factory(HyriseEngine)
+        ctx = ExecutionContext(platform)
+        for position in range(0, 300, 10):
+            engine.materialize("item", [position], ctx)
+        engine.reorganize("item", ExecutionContext(platform))
+        layout = engine.layouts("item")[0]
+        wide = layout.fragment_for(0, "i_id")
+        assert wide.region.arity == 5
+        assert wide.linearization is LinearizationKind.NSM
+
+    def test_reorganize_preserves_values(self, loaded_item_engine_factory, small_items):
+        engine, platform = loaded_item_engine_factory(HyriseEngine)
+        self.run_scans(engine, platform, "i_price")
+        ctx = ExecutionContext(platform)
+        before = engine.sum("item", "i_price", ctx)
+        engine.reorganize("item", ctx)
+        assert engine.sum("item", "i_price", ctx) == pytest.approx(before)
+        row = engine.materialize("item", [3], ctx)[0]
+        assert row[0] == 3
+
+    def test_reorganize_idempotent(self, loaded_item_engine_factory):
+        engine, platform = loaded_item_engine_factory(HyriseEngine)
+        self.run_scans(engine, platform, "i_price")
+        ctx = ExecutionContext(platform)
+        assert engine.reorganize("item", ctx)
+        assert not engine.reorganize("item", ctx)
+
+    def test_scan_faster_after_adaptation(self, loaded_item_engine_factory):
+        """The point of being responsive: the workload gets cheaper."""
+        engine, platform = loaded_item_engine_factory(HyriseEngine)
+        before = self.run_scans(engine, platform, "i_price", count=1)
+        engine.reorganize("item", ExecutionContext(platform))
+        after = self.run_scans(engine, platform, "i_price", count=1)
+        assert after.cycles < before.cycles
+
+
+class TestWorkloadDrift:
+    def test_adapts_back_when_workload_shifts(self, loaded_item_engine_factory):
+        """The trace is a sliding window: after the workload drifts from
+        scans to point queries, re-adaptation must follow."""
+        engine, platform = loaded_item_engine_factory(HyriseEngine)
+        ctx = ExecutionContext(platform)
+        # Phase 1: scans -> column split.
+        for __ in range(30):
+            engine.sum("item", "i_price", ctx)
+        engine.reorganize("item", ctx)
+        assert engine.layouts("item")[0].fragment_for(0, "i_price").region.is_column
+        # Phase 2: heavy point traffic dominates the window.
+        engine.managed("item").trace.clear()
+        for position in range(0, 300, 3):
+            engine.materialize("item", [position], ctx)
+        engine.reorganize("item", ctx)
+        wide = engine.layouts("item")[0].fragment_for(0, "i_price")
+        assert wide.region.arity == 5
+        assert wide.linearization is LinearizationKind.NSM
+
+
+class TestFormatChoice:
+    def test_scan_heavy_coaccessed_group_becomes_dsm(self, loaded_item_engine_factory):
+        """A multi-attribute cluster under attribute-centric traffic is
+        kept together but re-formatted DSM (the variable-format power
+        that distinguishes HYRISE from H2O)."""
+        from repro.execution.access import AccessKind
+
+        engine, platform = loaded_item_engine_factory(HyriseEngine)
+        ctx = ExecutionContext(platform)
+        for __ in range(30):
+            # Two columns always scanned together, attribute-centric.
+            engine.record_access(
+                "item", AccessKind.READ, ("i_id", "i_price"), 500
+            )
+        specs = engine.propose_containers("item")
+        joint = next(s for s in specs if "i_price" in s[0])
+        assert set(joint[0]) == {"i_id", "i_price"}
+        assert joint[1] is LinearizationKind.DSM
+        engine.reorganize("item", ctx)
+        fragment = engine.layouts("item")[0].fragment_for(0, "i_price")
+        assert fragment.linearization is LinearizationKind.DSM
+        assert fragment.region.is_fat

@@ -1,0 +1,187 @@
+"""L-Store tests: lineage, page dictionary, historic queries, merge."""
+
+import numpy as np
+import pytest
+
+from repro.engines.lstore import LStoreEngine, PageDictionary
+from repro.errors import TransactionError
+from repro.execution import ExecutionContext
+
+
+@pytest.fixture
+def engine(loaded_item_engine_factory):
+    return loaded_item_engine_factory(LStoreEngine, tail_capacity=8)
+
+
+class TestLineage:
+    def test_update_appends_tail_not_in_place(self, engine, small_items):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        original = float(small_items["i_price"][5])
+        lstore.update("item", 5, "i_price", 50.0, ctx)
+        base = lstore.layouts("item")[0].fragment_for(5, "i_price")
+        # The base page still holds the stale value (read-only part).
+        assert base.read_field(5, "i_price") == pytest.approx(original)
+        # But reads resolve to the tail through the dictionary.
+        assert lstore.read_field("item", 5, "i_price", ctx) == 50.0
+
+    def test_dictionary_hides_base_vs_tail(self, engine):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        policy = lstore.delegation_policy("item")
+        assert policy.owner_of(5, "i_price") == "base"
+        lstore.update("item", 5, "i_price", 50.0, ctx)
+        assert policy.owner_of(5, "i_price") == "tail"
+
+    def test_tail_overflow_opens_new_fragment(self, engine):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        for i in range(20):  # > tail_capacity of 8
+            lstore.update("item", i, "i_price", float(i), ctx)
+        tails = lstore._tails["item"]["i_price"]
+        assert len(tails) == 3
+        assert lstore.read_field("item", 19, "i_price", ctx) == 19.0
+
+    def test_out_of_range_update(self, engine):
+        lstore, platform = engine
+        with pytest.raises(TransactionError):
+            lstore.update("item", 10**6, "i_price", 1.0, ExecutionContext(platform))
+
+    def test_tail_dereference_costs_extra(self, engine):
+        """The paper: tail dereferencing 'might cause additional cache
+        misses in direct comparison to records formatted using plain NSM'."""
+        lstore, platform = engine
+        ctx_base = ExecutionContext(platform)
+        ctx_tail = ExecutionContext(platform)
+        lstore.read_field("item", 7, "i_price", ctx_base)
+        lstore.update("item", 8, "i_price", 1.0, ExecutionContext(platform))
+        lstore.read_field("item", 8, "i_price", ctx_tail)
+        assert ctx_tail.cycles > ctx_base.cycles
+
+
+class TestHistory:
+    def test_full_lineage(self, engine, small_items):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        original = float(small_items["i_price"][3])
+        lstore.update("item", 3, "i_price", 10.0, ctx)
+        lstore.update("item", 3, "i_price", 20.0, ctx)
+        history = lstore.read_history("item", 3, "i_price", ctx)
+        assert history[0] == pytest.approx(original)
+        assert history[1:] == [10.0, 20.0]
+
+    def test_history_of_untouched_cell(self, engine, small_items):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        history = lstore.read_history("item", 3, "i_price", ctx)
+        assert len(history) == 1
+
+
+class TestScansWithTails:
+    def test_sum_patches_updates(self, engine, small_items):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        expected = float(np.sum(small_items["i_price"]))
+        old = float(small_items["i_price"][9])
+        lstore.update("item", 9, "i_price", 0.0, ctx)
+        assert lstore.sum("item", "i_price", ctx) == pytest.approx(expected - old)
+
+    def test_repeated_updates_use_latest(self, engine, small_items):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        expected = float(np.sum(small_items["i_price"]))
+        old = float(small_items["i_price"][9])
+        for value in (1.0, 2.0, 3.0):
+            lstore.update("item", 9, "i_price", value, ctx)
+        assert lstore.sum("item", "i_price", ctx) == pytest.approx(expected - old + 3.0)
+
+
+class TestMerge:
+    def test_merge_moves_tails_into_base(self, engine):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        lstore.update("item", 5, "i_price", 50.0, ctx)
+        assert lstore.reorganize("item", ctx)
+        base = lstore.layouts("item")[0].fragment_for(5, "i_price")
+        assert base.read_field(5, "i_price") == 50.0
+        assert lstore.delegation_policy("item").updated_cells() == 0
+        assert lstore._tails["item"]["i_price"] == []
+
+    def test_merge_without_updates_is_noop(self, engine):
+        lstore, platform = engine
+        assert not lstore.reorganize("item", ExecutionContext(platform))
+
+    def test_values_consistent_after_merge(self, engine, small_items):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        expected = float(np.sum(small_items["i_price"]))
+        old = float(small_items["i_price"][2])
+        lstore.update("item", 2, "i_price", 7.0, ctx)
+        lstore.reorganize("item", ctx)
+        assert lstore.sum("item", "i_price", ctx) == pytest.approx(expected - old + 7.0)
+        assert lstore.read_field("item", 2, "i_price", ctx) == 7.0
+
+    def test_reads_cheaper_after_merge(self, engine):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        lstore.update("item", 8, "i_price", 1.0, ctx)
+        before = ExecutionContext(platform)
+        lstore.read_field("item", 8, "i_price", before)
+        lstore.reorganize("item", ctx)
+        after = ExecutionContext(platform)
+        lstore.read_field("item", 8, "i_price", after)
+        assert after.cycles < before.cycles
+
+
+class TestPageDictionary:
+    def test_lineage_order(self):
+        directory = PageDictionary()
+        directory.record_update(1, "a", 0)
+        directory.record_update(1, "a", 5)
+        assert directory.lineage(1, "a") == [0, 5]
+        assert directory.resolve(1, "a") == 5
+
+    def test_clear(self):
+        directory = PageDictionary()
+        directory.record_update(1, "a", 0)
+        directory.clear()
+        assert directory.resolve(1, "a") is None
+        assert directory.updated_cells() == 0
+
+    def test_versions_snapshot_is_copy(self):
+        directory = PageDictionary()
+        directory.record_update(1, "a", 0)
+        snapshot = directory.versions()
+        snapshot[(1, "a")].append(99)
+        assert directory.lineage(1, "a") == [0]
+
+
+class TestSumAtResolvesLineage:
+    """Regression: sum_at must see tail versions, not stale base values
+    (caught by the oracle property test)."""
+
+    def test_sum_at_after_update(self, engine, small_items):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        lstore.update("item", 0, "i_price", 0.0, ctx)
+        got = lstore.sum_at("item", "i_price", [0], ctx)
+        assert got == pytest.approx(0.0)
+
+    def test_sum_at_mixes_base_and_tail(self, engine, small_items):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        lstore.update("item", 3, "i_price", 10.0, ctx)
+        expected = 10.0 + float(small_items["i_price"][4])
+        assert lstore.sum_at("item", "i_price", [3, 4], ctx) == pytest.approx(expected)
+
+
+class TestPointQueryResolvesLineage:
+    """Regression: point_query must route through L-Store's dictionary
+    (found by the wide-schema contract test)."""
+
+    def test_point_query_after_update(self, engine, small_items):
+        lstore, platform = engine
+        ctx = ExecutionContext(platform)
+        lstore.update("item", 5, "i_price", 123.0, ctx)
+        row = lstore.point_query("item", 5, ctx)
+        assert row[4] == pytest.approx(123.0)

@@ -1,0 +1,162 @@
+"""Peloton tests: tiles, layout transparency, FSM adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.engines.peloton import PelotonEngine
+from repro.errors import EngineError
+from repro.execution import ExecutionContext
+from repro.layout.linearization import LinearizationKind
+from repro.workload import item_schema
+
+
+@pytest.fixture
+def engine(loaded_item_engine_factory):
+    return loaded_item_engine_factory(PelotonEngine, tile_group_rows=128)
+
+
+class TestTiles:
+    def test_tile_groups_are_horizontal(self, engine):
+        peloton, __ = engine
+        physical = peloton.layouts("item")[0]
+        starts = sorted({f.region.rows.start for f in physical.fragments})
+        assert starts == [0, 128, 256, 384]
+
+    def test_new_groups_start_nsm(self, engine):
+        peloton, __ = engine
+        for tile in peloton.layouts("item")[0].fragments:
+            assert tile.linearization is LinearizationKind.NSM
+
+    def test_vertical_tile_specs(self, loaded_item_engine_factory):
+        engine, __ = loaded_item_engine_factory(
+            PelotonEngine,
+            tile_group_rows=128,
+            tile_specs=[
+                (("i_id", "i_im_id"), LinearizationKind.NSM),
+                (("i_name", "i_data", "i_price"), LinearizationKind.DSM),
+            ],
+        )
+        physical = engine.layouts("item")[0]
+        assert physical.combines_partitionings
+        kinds = {t.linearization for t in physical.fragments}
+        assert kinds == {LinearizationKind.NSM, LinearizationKind.DSM}
+
+    def test_bad_specs_rejected(self, platform, small_items):
+        engine = PelotonEngine(
+            platform, tile_specs=[(("i_id",), LinearizationKind.NSM)]
+        )
+        engine.create("item", item_schema())
+        with pytest.raises(EngineError):
+            engine.load("item", small_items)
+
+
+class TestLayoutTransparency:
+    def test_logical_tiles_reference_physical(self, engine):
+        peloton, __ = engine
+        catalog = peloton.delegation_policy("item")
+        for tile in catalog.tiles():
+            physical = catalog.physical_for(tile)
+            assert set(tile.attributes) <= set(physical.region.attributes)
+
+    def test_owner_of_resolves(self, engine):
+        peloton, __ = engine
+        catalog = peloton.delegation_policy("item")
+        assert "g1" in catalog.owner_of(200, "i_price")
+
+    def test_owner_of_unknown_cell(self, engine):
+        peloton, __ = engine
+        with pytest.raises(EngineError):
+            peloton.delegation_policy("item").owner_of(10**6, "i_price")
+
+
+class TestInsert:
+    def test_insert_appends(self, engine):
+        peloton, platform = engine
+        ctx = ExecutionContext(platform)
+        position = peloton.insert("item", (500, 1, "AA", "B", 3.0), ctx)
+        assert position == 500
+        assert peloton.materialize("item", [500], ctx)[0][4] == 3.0
+
+    def test_insert_opens_tile_group(self, engine):
+        peloton, platform = engine
+        ctx = ExecutionContext(platform)
+        physical = peloton.layouts("item")[0]
+        before = len(physical)
+        for i in range(130):
+            peloton.insert("item", (500 + i, 1, "AA", "B", 1.0), ctx)
+        assert len(physical) > before
+        physical.validate()
+
+
+class TestFSMAdaptation:
+    def test_analytical_workload_reformats_cold_groups_to_dsm(self, engine):
+        peloton, platform = engine
+        ctx = ExecutionContext(platform)
+        for __ in range(20):
+            peloton.sum("item", "i_price", ctx)
+        assert peloton.reorganize("item", ctx)
+        physical = peloton.layouts("item")[0]
+        tiles = sorted(physical.fragments, key=lambda f: f.region.rows.start)
+        assert all(t.linearization is LinearizationKind.DSM for t in tiles[:-1])
+        # The hot tail group stays write-optimized.
+        assert tiles[-1].linearization is LinearizationKind.NSM
+
+    def test_transactional_workload_keeps_nsm(self, engine):
+        peloton, platform = engine
+        ctx = ExecutionContext(platform)
+        for position in range(0, 400, 5):
+            peloton.materialize("item", [position], ctx)
+        assert not peloton.reorganize("item", ctx)  # already NSM everywhere
+
+    def test_values_survive_reformat(self, engine, small_items):
+        peloton, platform = engine
+        ctx = ExecutionContext(platform)
+        for __ in range(20):
+            peloton.sum("item", "i_price", ctx)
+        expected = float(np.sum(small_items["i_price"]))
+        peloton.reorganize("item", ctx)
+        assert peloton.sum("item", "i_price", ctx) == pytest.approx(expected)
+        assert peloton.materialize("item", [10, 300], ctx)[1][0] == 300
+
+    def test_scans_cheaper_after_reformat(self, engine):
+        peloton, platform = engine
+        warm = ExecutionContext(platform)
+        for __ in range(20):
+            peloton.sum("item", "i_price", warm)
+        before = ExecutionContext(platform)
+        peloton.sum("item", "i_price", before)
+        peloton.reorganize("item", ExecutionContext(platform))
+        after = ExecutionContext(platform)
+        peloton.sum("item", "i_price", after)
+        assert after.cycles < before.cycles
+
+    def test_catalog_rebound_after_reformat(self, engine):
+        peloton, platform = engine
+        ctx = ExecutionContext(platform)
+        for __ in range(20):
+            peloton.sum("item", "i_price", ctx)
+        peloton.reorganize("item", ctx)
+        catalog = peloton.delegation_policy("item")
+        owner = catalog.owner_of(0, "i_price")
+        assert "dsm" in owner
+
+
+class TestHotGroupsParameter:
+    def test_multiple_hot_groups_stay_nsm(self, loaded_item_engine_factory):
+        engine, platform = loaded_item_engine_factory(
+            PelotonEngine, tile_group_rows=128, hot_groups=2
+        )
+        ctx = ExecutionContext(platform)
+        for __ in range(20):
+            engine.sum("item", "i_price", ctx)
+        engine.reorganize("item", ctx)
+        tiles = sorted(
+            engine.layouts("item")[0].fragments,
+            key=lambda f: f.region.rows.start,
+        )
+        assert [t.linearization for t in tiles] == [
+            LinearizationKind.DSM,
+            LinearizationKind.DSM,
+            LinearizationKind.NSM,
+            LinearizationKind.NSM,
+        ]

@@ -1,0 +1,93 @@
+"""Non-key selection with and without secondary indexes."""
+
+import numpy as np
+import pytest
+
+from repro.engines import HyriseEngine, RowStoreEngine
+from repro.errors import EngineError
+from repro.execution import ExecutionContext
+from repro.hardware import Platform
+from repro.workload import item_schema
+
+ROWS = 500
+
+
+@pytest.fixture
+def engine(small_items):
+    platform = Platform.paper_testbed()
+    engine = RowStoreEngine(platform)
+    engine.create("item", item_schema())
+    engine.load("item", small_items)
+    return engine, platform
+
+
+class TestSelectEquals:
+    def test_scan_fallback_correct(self, engine, small_items):
+        rowstore, platform = engine
+        ctx = ExecutionContext(platform)
+        key = int(small_items["i_im_id"][3])
+        rows = rowstore.select_equals("item", "i_im_id", key, ctx)
+        expected = int(np.sum(small_items["i_im_id"] == key))
+        assert len(rows) == expected
+        assert all(row[1] == key for row in rows)
+
+    def test_indexed_path_same_answer(self, engine, small_items):
+        rowstore, platform = engine
+        ctx = ExecutionContext(platform)
+        key = int(small_items["i_im_id"][3])
+        scanned = rowstore.select_equals("item", "i_im_id", key, ctx)
+        rowstore.create_index("item", "i_im_id", ctx)
+        indexed = rowstore.select_equals("item", "i_im_id", key, ctx)
+        assert indexed == scanned
+
+    def test_index_beats_scan(self, engine, small_items):
+        rowstore, platform = engine
+        key = int(small_items["i_im_id"][3])
+        scan_ctx = ExecutionContext(platform)
+        rowstore.select_equals("item", "i_im_id", key, scan_ctx)
+        rowstore.create_index("item", "i_im_id", ExecutionContext(platform))
+        index_ctx = ExecutionContext(platform)
+        rowstore.select_equals("item", "i_im_id", key, index_ctx)
+        assert index_ctx.cycles < scan_ctx.cycles
+
+    def test_string_selection(self, engine, small_items):
+        rowstore, platform = engine
+        ctx = ExecutionContext(platform)
+        key = small_items["i_name"][0].decode()
+        rows = rowstore.select_equals("item", "i_name", key, ctx)
+        assert rows and all(row[2] == key for row in rows)
+
+    def test_missing_value_empty(self, engine):
+        rowstore, platform = engine
+        ctx = ExecutionContext(platform)
+        assert rowstore.select_equals("item", "i_im_id", -1, ctx) == []
+
+    def test_index_maintained_on_update(self, engine, small_items):
+        rowstore, platform = engine
+        ctx = ExecutionContext(platform)
+        rowstore.create_index("item", "i_im_id", ctx)
+        old_key = int(small_items["i_im_id"][7])
+        rowstore.update("item", 7, "i_im_id", 99_999, ctx)
+        hits = rowstore.select_equals("item", "i_im_id", 99_999, ctx)
+        assert [row[0] for row in hits] == [7]
+        stale = rowstore.select_equals("item", "i_im_id", old_key, ctx)
+        assert 7 not in [row[0] for row in stale]
+
+    def test_phantom_relation_rejected(self):
+        platform = Platform.paper_testbed()
+        engine = RowStoreEngine(platform)
+        engine.create("item", item_schema())
+        engine.load_phantom("item", 100)
+        with pytest.raises(EngineError):
+            engine.create_index("item", "i_im_id", ExecutionContext(platform))
+
+    def test_works_on_columnar_engine_too(self, small_items):
+        platform = Platform.paper_testbed()
+        engine = HyriseEngine(platform)
+        engine.create("item", item_schema())
+        engine.load("item", small_items)
+        ctx = ExecutionContext(platform)
+        engine.create_index("item", "i_im_id", ctx)
+        key = int(small_items["i_im_id"][11])
+        rows = engine.select_equals("item", "i_im_id", key, ctx)
+        assert all(row[1] == key for row in rows)

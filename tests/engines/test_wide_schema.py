@@ -1,0 +1,94 @@
+"""Cross-engine checks on the WIDE (21-attribute customer) schema.
+
+Most engine tests use the 5-attribute item table; arity assumptions
+hide there.  This file loads the paper's 96-byte/21-field customer
+table into every engine and exercises the full contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reference_engine import ReferenceEngine
+from repro.engines import (
+    CoGaDBEngine,
+    ES2Engine,
+    FracturedMirrorsEngine,
+    GpuTxEngine,
+    H2OEngine,
+    HyperEngine,
+    HyriseEngine,
+    LStoreEngine,
+    PaxEngine,
+    PelotonEngine,
+)
+from repro.execution import ExecutionContext
+from repro.hardware import Platform
+from repro.workload import customer_schema, generate_customers
+
+ROWS = 300
+
+FACTORIES = {
+    "PAX": lambda p: PaxEngine(p, buffer_pool_pages=32),
+    "Frac. Mirrors": FracturedMirrorsEngine,
+    "HYRISE": HyriseEngine,
+    "ES2": lambda p: ES2Engine(p, partition_rows=100),
+    "GPUTx": GpuTxEngine,
+    "H2O": lambda p: H2OEngine(p, hot_columns=("c_balance",)),
+    "HyPer": lambda p: HyperEngine(p, chunk_rows=100),
+    "CoGaDB": CoGaDBEngine,
+    "L-Store": lambda p: LStoreEngine(p, tail_capacity=64),
+    "Peloton": lambda p: PelotonEngine(p, tile_group_rows=100),
+    "Reference": lambda p: ReferenceEngine(p, delta_tile_rows=100),
+}
+
+
+@pytest.fixture(scope="module")
+def columns():
+    return generate_customers(ROWS)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_customer_contract(name, columns):
+    platform = Platform.paper_testbed()
+    engine = FACTORIES[name](platform)
+    engine.create("customer", customer_schema())
+    engine.load("customer", columns)
+    ctx = ExecutionContext(platform)
+
+    expected = float(np.sum(columns["c_credit_lim"]))
+    assert engine.sum("customer", "c_credit_lim", ctx) == pytest.approx(expected)
+
+    row = engine.materialize("customer", [7], ctx)[0]
+    assert len(row) == 21
+    assert row[0] == 7
+    assert row[3] == columns["c_first"][7].decode()
+
+    engine.update("customer", 7, "c_credit_lim", 1.0, ctx)
+    assert engine.sum("customer", "c_credit_lim", ctx) == pytest.approx(
+        expected - float(columns["c_credit_lim"][7]) + 1.0
+    )
+    assert engine.point_query("customer", 7, ctx)[14] == pytest.approx(1.0)
+    for layout in engine.layouts("customer"):
+        layout.validate()
+
+
+def test_hyrise_affinity_on_wide_schema(columns):
+    """21 attributes, two co-access clusters -> containers follow."""
+    platform = Platform.paper_testbed()
+    engine = HyriseEngine(platform, affinity_threshold=0.5)
+    engine.create("customer", customer_schema())
+    engine.load("customer", columns)
+    ctx = ExecutionContext(platform)
+    identity = ("c_first", "c_last", "c_city")
+    money = ("c_credit_lim",)
+    from repro.execution.access import AccessKind
+
+    for __ in range(20):
+        engine.record_access("customer", AccessKind.READ, identity, 2)
+        engine.sum("customer", "c_credit_lim", ctx)
+    engine.reorganize("customer", ctx)
+    layout = engine.layouts("customer")[0]
+    identity_fragment = layout.fragment_for(0, "c_first")
+    assert set(identity) <= set(identity_fragment.region.attributes)
+    money_fragment = layout.fragment_for(0, "c_credit_lim")
+    assert money_fragment.region.attributes == money

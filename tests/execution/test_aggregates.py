@@ -1,0 +1,69 @@
+"""aggregate_column tests: named reducers over layouts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution import ExecutionContext, aggregate_column, sum_column
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.region import Region
+from repro.model.datatypes import FLOAT64
+from repro.model.relation import Relation, RowRange
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def layout(platform):
+    """A chunked column (two fragments) so combine logic is exercised."""
+    relation = Relation("t", Schema.of(("v", FLOAT64)), 100)
+    fragments = []
+    values = np.arange(100, dtype=np.float64)
+    for rows in (RowRange(0, 60), RowRange(60, 100)):
+        fragment = Fragment(
+            Region(rows, ("v",)), relation.schema, None, platform.host_memory
+        )
+        fragment.append_columns({"v": values[rows.start : rows.stop]})
+        fragments.append(fragment)
+    return Layout("t", relation, fragments)
+
+
+class TestReducers:
+    def test_sum_matches_sum_column(self, layout, ctx):
+        assert aggregate_column(layout, "v", "sum", ctx) == pytest.approx(
+            sum_column(layout, "v", ctx.fork())
+        )
+
+    def test_min_max(self, layout, ctx):
+        assert aggregate_column(layout, "v", "min", ctx) == 0.0
+        assert aggregate_column(layout, "v", "max", ctx) == 99.0
+
+    def test_mean_weights_fragments(self, layout, ctx):
+        assert aggregate_column(layout, "v", "mean", ctx) == pytest.approx(49.5)
+
+    def test_count(self, layout, ctx):
+        assert aggregate_column(layout, "v", "count", ctx) == 100
+
+    def test_unknown_op_rejected(self, layout, ctx):
+        with pytest.raises(ExecutionError):
+            aggregate_column(layout, "v", "median", ctx)
+
+    def test_empty_relation_identities(self, platform, ctx):
+        relation = Relation("e", Schema.of(("v", FLOAT64)), 0)
+        fragment = Fragment(
+            Region(relation.rows, ("v",)), relation.schema, None,
+            platform.host_memory,
+        )
+        layout = Layout("e", relation, [fragment], validate=False)
+        assert aggregate_column(layout, "v", "sum", ctx) == 0.0
+        assert aggregate_column(layout, "v", "count", ctx) == 0
+        assert aggregate_column(layout, "v", "min", ctx) is None
+
+    def test_cost_identical_across_ops(self, layout, platform):
+        """Same scan, different combine: costs must match sum's."""
+        costs = {}
+        for op in ("sum", "min", "max", "mean", "count"):
+            ctx = ExecutionContext(platform)
+            aggregate_column(layout, "v", op, ctx)
+            costs[op] = ctx.cycles
+        assert len(set(costs.values())) == 1

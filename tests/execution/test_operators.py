@@ -1,0 +1,198 @@
+"""Operator tests: correctness of the data plane, sanity of the cost plane."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.execution.context import ExecutionContext
+from repro.execution.operators import (
+    filter_scan,
+    materialize_rows,
+    sum_at_positions,
+    sum_column,
+    update_field,
+)
+from repro.execution.threading import MULTI_THREADED_8
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import LinearizationKind
+from repro.layout.partitioning import one_region_per_attribute
+from repro.layout.region import Region
+from repro.model.datatypes import FLOAT64, INT64
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    return Relation("t", Schema.of(("id", INT64), ("price", FLOAT64)), 100)
+
+
+@pytest.fixture
+def rows():
+    return [(i, float(i) / 2) for i in range(100)]
+
+
+def nsm_layout(relation, platform, rows):
+    fragment = Fragment.from_rows(
+        Region.full(relation), relation.schema, LinearizationKind.NSM,
+        platform.host_memory, rows,
+    )
+    return Layout("nsm", relation, [fragment])
+
+
+def columnar_layout(relation, platform, rows):
+    fragments = []
+    for region in one_region_per_attribute(relation):
+        fragment = Fragment(region, relation.schema, None, platform.host_memory)
+        position = relation.schema.position_of(region.attributes[0])
+        fragment.append_rows([(row[position],) for row in rows])
+        fragments.append(fragment)
+    return Layout("dsm", relation, fragments)
+
+
+class TestSumColumn:
+    def test_value_nsm(self, relation, platform, ctx, rows):
+        layout = nsm_layout(relation, platform, rows)
+        assert sum_column(layout, "price", ctx) == pytest.approx(sum(r[1] for r in rows))
+
+    def test_value_columnar(self, relation, platform, ctx, rows):
+        layout = columnar_layout(relation, platform, rows)
+        assert sum_column(layout, "price", ctx) == pytest.approx(sum(r[1] for r in rows))
+
+    def test_dsm_cheaper_than_nsm_at_scale(self, platform):
+        """Finding (iii): attribute-centric scans favor DSM."""
+        big = Relation("big", Schema.of(("id", INT64), ("price", FLOAT64)), 500_000)
+        nsm_fragment = Fragment(
+            Region.full(big), big.schema, LinearizationKind.NSM,
+            platform.host_memory, materialize=False,
+        )
+        nsm_fragment.fill_phantom(big.row_count)
+        dsm_fragments = []
+        for region in one_region_per_attribute(big):
+            fragment = Fragment(
+                region, big.schema, None, platform.host_memory, materialize=False
+            )
+            fragment.fill_phantom(big.row_count)
+            dsm_fragments.append(fragment)
+        nsm_ctx = ExecutionContext(platform)
+        dsm_ctx = ExecutionContext(platform)
+        sum_column(Layout("n", big, [nsm_fragment]), "price", nsm_ctx)
+        sum_column(Layout("d", big, dsm_fragments), "price", dsm_ctx)
+        assert dsm_ctx.cycles < nsm_ctx.cycles
+
+    def test_threading_helps_large_scans(self, platform):
+        big = Relation("big", Schema.of(("price", FLOAT64)), 5_000_000)
+        fragment = Fragment(
+            Region.full(big), big.schema, None, platform.host_memory, materialize=False
+        )
+        fragment.fill_phantom(big.row_count)
+        layout = Layout("c", big, [fragment])
+        single = ExecutionContext(platform)
+        multi = ExecutionContext(platform, threading=MULTI_THREADED_8)
+        sum_column(layout, "price", single)
+        sum_column(layout, "price", multi)
+        assert multi.cycles < single.cycles
+
+    def test_empty_layout_sums_to_zero(self, platform, ctx):
+        empty = Relation("e", Schema.of(("price", FLOAT64)), 0)
+        fragment = Fragment(
+            Region(empty.rows, ("price",)), empty.schema, None, platform.host_memory
+        )
+        layout = Layout("e", empty, [fragment], validate=False)
+        assert sum_column(layout, "price", ctx) == 0.0
+
+
+class TestSumAtPositions:
+    def test_value(self, relation, platform, ctx, rows):
+        layout = columnar_layout(relation, platform, rows)
+        positions = [3, 17, 42]
+        expected = sum(rows[p][1] for p in positions)
+        assert sum_at_positions(layout, "price", positions, ctx) == pytest.approx(expected)
+
+    def test_uncovered_position_rejected(self, relation, platform, ctx, rows):
+        layout = columnar_layout(relation, platform, rows)
+        with pytest.raises(ExecutionError):
+            sum_at_positions(layout, "price", [1000], ctx)
+
+    def test_single_thread_beats_multi_on_tiny_lists(self, relation, platform, rows):
+        """Finding (i): thread management dominates tiny position lists."""
+        layout = columnar_layout(relation, platform, rows)
+        single = ExecutionContext(platform)
+        multi = ExecutionContext(platform, threading=MULTI_THREADED_8)
+        sum_at_positions(layout, "price", [1, 2, 3], single)
+        sum_at_positions(layout, "price", [1, 2, 3], multi)
+        assert single.cycles < multi.cycles
+
+
+class TestMaterialize:
+    def test_values(self, relation, platform, ctx, rows):
+        layout = nsm_layout(relation, platform, rows)
+        assert materialize_rows(layout, [5, 50], ctx) == [rows[5], rows[50]]
+
+    def test_values_columnar(self, relation, platform, ctx, rows):
+        layout = columnar_layout(relation, platform, rows)
+        assert materialize_rows(layout, [5, 50], ctx) == [rows[5], rows[50]]
+
+    def test_nsm_cheaper_than_dsm_for_wide_records(self, platform):
+        """Finding (ii): record-centric materialization favors NSM."""
+        from repro.workload.tpcc import customer_relation
+
+        relation = customer_relation(2_000_000)
+        nsm_fragment = Fragment(
+            Region.full(relation), relation.schema, LinearizationKind.NSM,
+            platform.host_memory, materialize=False,
+        )
+        nsm_fragment.fill_phantom(relation.row_count)
+        dsm_fragments = []
+        for region in one_region_per_attribute(relation):
+            fragment = Fragment(
+                region, relation.schema, None, platform.host_memory, materialize=False
+            )
+            fragment.fill_phantom(relation.row_count)
+            dsm_fragments.append(fragment)
+        positions = list(range(0, 2_000_000, 13339))[:150]
+        nsm_ctx = ExecutionContext(platform)
+        dsm_ctx = ExecutionContext(platform)
+        materialize_rows(Layout("n", relation, [nsm_fragment]), positions, nsm_ctx)
+        materialize_rows(Layout("d", relation, dsm_fragments), positions, dsm_ctx)
+        assert nsm_ctx.cycles * 3 < dsm_ctx.cycles  # ~21 columns vs 2 lines
+
+
+class TestFilterScan:
+    def test_positions(self, relation, platform, ctx, rows):
+        layout = columnar_layout(relation, platform, rows)
+        positions = filter_scan(layout, "price", lambda v: v >= 45.0, ctx)
+        assert positions == list(range(90, 100))
+
+    def test_bad_predicate_shape(self, relation, platform, ctx, rows):
+        layout = columnar_layout(relation, platform, rows)
+        with pytest.raises(ExecutionError):
+            filter_scan(layout, "price", lambda v: np.array([True]), ctx)
+
+
+class TestUpdate:
+    def test_in_place(self, relation, platform, ctx, rows):
+        layout = nsm_layout(relation, platform, rows)
+        update_field(layout, 7, "price", 99.0, ctx)
+        assert layout.read_row(7) == (7, 99.0)
+        assert ctx.counters.bytes_written == 8
+
+    def test_uncovered_cell_rejected(self, relation, platform, ctx, rows):
+        layout = nsm_layout(relation, platform, rows)
+        with pytest.raises(ExecutionError):
+            update_field(layout, 100, "price", 1.0, ctx)
+
+    def test_updates_all_replicas(self, relation, platform, ctx, rows):
+        first = Fragment.from_rows(
+            Region.full(relation), relation.schema, LinearizationKind.NSM,
+            platform.host_memory, rows,
+        )
+        second = Fragment.from_rows(
+            Region.full(relation), relation.schema, LinearizationKind.DSM,
+            platform.host_memory, rows,
+        )
+        layout = Layout("repl", relation, [first, second], allow_overlap=True)
+        update_field(layout, 3, "price", 123.0, ctx)
+        assert first.read_field(3, "price") == 123.0
+        assert second.read_field(3, "price") == 123.0

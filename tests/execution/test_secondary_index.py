@@ -1,0 +1,76 @@
+"""Secondary (non-unique) index tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExecutionError
+from repro.execution import ExecutionContext, SecondaryIndex
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.region import Region
+from repro.model.datatypes import INT64
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def layout(platform):
+    relation = Relation("t", Schema.of(("grp", INT64)), 40)
+    fragment = Fragment(Region.full(relation), relation.schema, None, platform.host_memory)
+    fragment.append_columns({"grp": np.arange(40) % 4})
+    return Layout("t", relation, [fragment])
+
+
+class TestSecondaryIndex:
+    def test_build_and_lookup(self, layout, ctx):
+        index = SecondaryIndex.build(layout, "grp", ctx)
+        assert index.lookup(2) == tuple(range(2, 40, 4))
+        assert index.lookup(99) == ()
+        assert index.entries == 40
+        assert len(index) == 4
+        assert ctx.cycles > 0
+
+    def test_positions_sorted(self):
+        index = SecondaryIndex("k")
+        for position in (9, 3, 7, 1):
+            index.insert("x", position)
+        assert index.lookup("x") == (1, 3, 7, 9)
+
+    def test_duplicate_pair_rejected(self):
+        index = SecondaryIndex("k")
+        index.insert("x", 5)
+        with pytest.raises(ExecutionError):
+            index.insert("x", 5)
+
+    def test_remove(self):
+        index = SecondaryIndex("k")
+        index.insert("x", 1)
+        index.insert("x", 2)
+        index.remove("x", 1)
+        assert index.lookup("x") == (2,)
+        index.remove("x", 2)
+        assert len(index) == 0
+        with pytest.raises(ExecutionError):
+            index.remove("x", 2)
+
+    def test_lookup_charges_probe(self, layout, platform):
+        index = SecondaryIndex.build(layout, "grp")
+        ctx = ExecutionContext(platform)
+        index.lookup(1, ctx)
+        assert ctx.cycles > 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 100)), max_size=60))
+@settings(max_examples=40)
+def test_secondary_index_matches_dict_oracle(pairs):
+    index = SecondaryIndex("k")
+    oracle: dict[int, set[int]] = {}
+    for key, position in pairs:
+        if position in oracle.get(key, set()):
+            continue
+        index.insert(key, position)
+        oracle.setdefault(key, set()).add(position)
+    for key, positions in oracle.items():
+        assert index.lookup(key) == tuple(sorted(positions))
+    assert index.entries == sum(len(v) for v in oracle.values())

@@ -1,0 +1,57 @@
+"""Threading policy and blockwise partition tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.execution.threading import (
+    MULTI_THREADED_8,
+    SINGLE_THREADED,
+    ThreadingPolicy,
+    blockwise_partition,
+)
+
+
+class TestPolicies:
+    def test_paper_policies(self):
+        assert SINGLE_THREADED.threads == 1
+        assert MULTI_THREADED_8.threads == 8
+        assert not SINGLE_THREADED.is_parallel
+        assert MULTI_THREADED_8.is_parallel
+
+    def test_invalid_policy(self):
+        with pytest.raises(ExecutionError):
+            ThreadingPolicy("bad", 0)
+
+
+class TestBlockwise:
+    def test_exact_split(self):
+        assert blockwise_partition(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_early(self):
+        assert blockwise_partition(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_fewer_items_than_threads(self):
+        assert blockwise_partition(2, 8) == [(0, 1), (1, 2)]
+
+    def test_empty(self):
+        assert blockwise_partition(0, 8) == []
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ExecutionError):
+            blockwise_partition(-1, 4)
+        with pytest.raises(ExecutionError):
+            blockwise_partition(4, 0)
+
+
+@given(st.integers(0, 10_000), st.integers(1, 64))
+def test_blockwise_exclusive_and_subsequent(count, threads):
+    """The paper's invariant: exclusive AND subsequent position blocks."""
+    blocks = blockwise_partition(count, threads)
+    cursor = 0
+    for start, stop in blocks:
+        assert start == cursor  # subsequent
+        assert stop > start  # exclusive, non-empty
+        cursor = stop
+    assert cursor == count
+    assert len(blocks) <= threads

@@ -1,0 +1,82 @@
+"""CPU model tests: spawn costs, scaling curves, the threading crossover."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.hardware.cpu import CPUModel
+
+
+@pytest.fixture
+def cpu():
+    return CPUModel()
+
+
+class TestSpawn:
+    def test_single_thread_is_free(self, cpu):
+        assert cpu.spawn_cost(1) == 0.0
+
+    def test_spawn_scales_with_threads(self, cpu):
+        assert cpu.spawn_cost(8) == 8 * cpu.thread_spawn_cycles
+
+    def test_invalid_threads(self, cpu):
+        with pytest.raises(ExecutionError):
+            cpu.spawn_cost(0)
+
+
+class TestScaling:
+    def test_compute_speedup_linear_to_cores(self, cpu):
+        assert cpu.compute_speedup(4) == 4.0
+
+    def test_smt_yield_beyond_cores(self, cpu):
+        assert cpu.compute_speedup(8) == pytest.approx(4 + 4 * cpu.smt_yield)
+
+    def test_compute_speedup_caps_at_hw_threads(self, cpu):
+        assert cpu.compute_speedup(64) == cpu.compute_speedup(8)
+
+    def test_bandwidth_speedup_caps_at_socket(self, cpu):
+        assert cpu.bandwidth_speedup(8) == pytest.approx(2.0)
+
+    def test_bandwidth_speedup_single(self, cpu):
+        assert cpu.bandwidth_speedup(1) == 1.0
+
+
+class TestParallelize:
+    def test_single_thread_is_plain_sum(self, cpu):
+        assert cpu.parallelize(1000.0, 2000.0, 1) == 3000.0
+
+    def test_threading_crossover(self, cpu):
+        """Finding (i): tiny work -> single wins; big work -> multi wins."""
+        tiny = 10_000.0
+        big = 100_000_000.0
+        assert cpu.parallelize(tiny, 0.0, 1) < cpu.parallelize(tiny, 0.0, 8)
+        assert cpu.parallelize(big, 0.0, 8) < cpu.parallelize(big, 0.0, 1)
+
+    def test_memory_bound_scales_by_bandwidth(self, cpu):
+        work = 100_000_000.0
+        multi = cpu.parallelize(0.0, work, 8)
+        assert multi == pytest.approx(cpu.spawn_cost(8) + work / 2.0)
+
+    def test_latency_bound_scales_like_compute(self, cpu):
+        work = 100_000_000.0
+        assert cpu.parallelize(0.0, 0.0, 8, latency_bound_cycles=work) == pytest.approx(
+            cpu.spawn_cost(8) + work / cpu.compute_speedup(8)
+        )
+
+    def test_cycles_seconds_roundtrip(self, cpu):
+        assert cpu.cycles_to_seconds(cpu.seconds_to_cycles(1.5)) == pytest.approx(1.5)
+
+
+@given(st.floats(0, 1e9), st.floats(0, 1e9), st.integers(1, 8))
+def test_parallel_never_beats_ideal(compute, memory, threads):
+    cpu = CPUModel()
+    total = cpu.parallelize(compute, memory, threads)
+    ideal = (compute + memory) / threads
+    assert total >= ideal or total == pytest.approx(ideal)
+
+
+@given(st.integers(1, 16))
+def test_speedups_monotone(threads):
+    cpu = CPUModel()
+    assert cpu.compute_speedup(threads) <= cpu.compute_speedup(threads + 1) + 1e-9
+    assert cpu.bandwidth_speedup(threads) <= cpu.bandwidth_speedup(threads + 1) + 1e-9

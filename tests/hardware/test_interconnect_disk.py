@@ -1,0 +1,80 @@
+"""PCIe and disk cost model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError, StorageError
+from repro.hardware.disk import DiskModel
+from repro.hardware.event import PerfCounters
+from repro.hardware.interconnect import InterconnectModel
+
+
+class TestPCIe:
+    def test_zero_transfer_free(self):
+        assert InterconnectModel().transfer_cost(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExecutionError):
+            InterconnectModel().transfer_cost(-1)
+
+    def test_latency_floor(self):
+        model = InterconnectModel()
+        assert model.transfer_seconds(1) >= model.latency_s
+
+    def test_bandwidth_asymptote(self):
+        model = InterconnectModel()
+        nbytes = 1 << 30
+        assert model.transfer_seconds(nbytes) == pytest.approx(
+            model.latency_s + nbytes / model.bandwidth
+        )
+
+    def test_counters(self):
+        model = InterconnectModel()
+        counters = PerfCounters()
+        model.transfer_cost(1000, counters)
+        assert counters.bytes_transferred == 1000
+        assert counters.cycles > 0
+
+    def test_transfer_dominates_gpu_compute_for_cold_column(self):
+        """Panel 3 vs 4: shipping the column costs more than reducing it."""
+        from repro.hardware.gpu import GPUModel
+
+        nbytes = 40_000_000  # 5M float64 prices
+        transfer = InterconnectModel().transfer_cost(nbytes)
+        kernel = GPUModel().reduction_cost(5_000_000, 8)
+        assert transfer > 3 * kernel
+
+
+class TestDisk:
+    def test_random_read_pays_seek(self):
+        disk = DiskModel()
+        assert disk.random_read_cost(0) == pytest.approx(
+            disk.seek_s * disk.host_frequency_hz
+        )
+
+    def test_sequential_amortizes_seek(self):
+        disk = DiskModel()
+        nbytes = 1 << 30
+        sequential = disk.sequential_read_cost(nbytes)
+        page_by_page = sum(disk.random_read_cost(8192) for _ in range(10)) * (
+            nbytes // (10 * 8192)
+        )
+        assert sequential < page_by_page
+
+    def test_zero_sequential_free(self):
+        assert DiskModel().sequential_read_cost(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            DiskModel().random_read_cost(-1)
+
+    def test_counters(self):
+        counters = PerfCounters()
+        DiskModel().random_read_cost(8192, counters)
+        assert counters.bytes_read == 8192
+
+
+@given(st.integers(0, 1 << 32))
+def test_pcie_monotone_property(nbytes):
+    model = InterconnectModel()
+    assert model.transfer_cost(nbytes) <= model.transfer_cost(nbytes + 1)

@@ -1,0 +1,91 @@
+"""Unit tests for simulated memory spaces."""
+
+import pytest
+
+from repro.errors import CapacityError, StorageError
+from repro.hardware.memory import MemoryKind, MemorySpace
+
+
+@pytest.fixture
+def space():
+    return MemorySpace("test", MemoryKind.HOST, 1000)
+
+
+class TestAllocation:
+    def test_allocate_tracks_usage(self, space):
+        space.allocate(300, "a")
+        assert space.used == 300
+        assert space.available == 700
+
+    def test_capacity_enforced(self, space):
+        space.allocate(900)
+        with pytest.raises(CapacityError):
+            space.allocate(200)
+
+    def test_exact_fit_allowed(self, space):
+        space.allocate(1000)
+        assert space.available == 0
+
+    def test_free_returns_budget(self, space):
+        allocation = space.allocate(400)
+        space.free(allocation)
+        assert space.used == 0
+        space.allocate(1000)  # full capacity available again
+
+    def test_addresses_never_reused(self, space):
+        first = space.allocate(100)
+        space.free(first)
+        second = space.allocate(100)
+        assert second.base != first.base
+
+    def test_double_free_rejected(self, space):
+        allocation = space.allocate(10)
+        space.free(allocation)
+        with pytest.raises(StorageError):
+            space.free(allocation)
+
+    def test_negative_size_rejected(self, space):
+        with pytest.raises(StorageError):
+            space.allocate(-1)
+
+    def test_zero_size_allowed(self, space):
+        allocation = space.allocate(0)
+        assert allocation.size == 0
+        assert space.used == 0
+
+    def test_fits(self, space):
+        space.allocate(800)
+        assert space.fits(200)
+        assert not space.fits(201)
+
+    def test_live_allocations_order(self, space):
+        a = space.allocate(10, "a")
+        b = space.allocate(10, "b")
+        assert space.live_allocations == (a, b)
+
+
+class TestAddressing:
+    def test_address_of_offset(self, space):
+        allocation = space.allocate(100, "x")
+        assert allocation.address_of(0) == allocation.base
+        assert allocation.address_of(99) == allocation.base + 99
+
+    def test_address_of_out_of_bounds(self, space):
+        allocation = space.allocate(100)
+        with pytest.raises(StorageError):
+            allocation.address_of(100)
+
+    def test_allocations_disjoint(self, space):
+        a = space.allocate(100)
+        b = space.allocate(100)
+        assert a.end <= b.base
+
+
+class TestKinds:
+    def test_is_host(self):
+        assert MemoryKind.HOST.is_host
+        assert not MemoryKind.DEVICE.is_host
+
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            MemorySpace("bad", MemoryKind.HOST, 0)

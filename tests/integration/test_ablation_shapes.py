@@ -1,0 +1,83 @@
+"""Ablation acceptance: each sweep shows the effect it isolates."""
+
+import pytest
+
+from repro.bench.ablations import (
+    gputx_bulk_size_sweep,
+    pcie_crossover_sweep,
+    pdsm_mixed_workload_sweep,
+    processing_model_sweep,
+    threading_crossover_sweep,
+)
+
+
+class TestThreadingCrossover:
+    def test_cheap_threads_make_multi_win(self):
+        points = threading_crossover_sweep(
+            spawn_cycles_values=(1_000.0, 2_000_000.0), row_count=1_000_000
+        )
+        assert points[0].outcomes["multi_wins"] == 1.0
+        assert points[-1].outcomes["multi_wins"] == 0.0
+
+    def test_multi_cost_monotone_in_spawn(self):
+        points = threading_crossover_sweep(
+            spawn_cycles_values=(10_000.0, 100_000.0, 400_000.0)
+        )
+        costs = [p.outcomes["multi_ms"] for p in points]
+        assert costs == sorted(costs)
+
+
+class TestPcieCrossover:
+    def test_fast_link_flips_the_winner(self):
+        points = pcie_crossover_sweep(bandwidths=(2e9, 64e9))
+        assert points[0].outcomes["device_wins"] == 0.0
+        assert points[-1].outcomes["device_wins"] == 1.0
+
+    def test_paper_link_speed_loses(self):
+        """At the paper-era ~6 GB/s the transfer kills the device win —
+        panel 3's message."""
+        (point,) = pcie_crossover_sweep(bandwidths=(6e9,))
+        assert point.outcomes["device_wins"] == 0.0
+
+
+class TestPdsm:
+    def test_no_layout_wins_everywhere(self):
+        """Section II-B: 'neither DSM nor NSM is always the best choice'."""
+        points = pdsm_mixed_workload_sweep(oltp_shares=(0.0, 1.0))
+        olap_only, oltp_only = points
+        assert olap_only.outcomes["dsm_ms"] < olap_only.outcomes["nsm_ms"]
+        assert oltp_only.outcomes["nsm_ms"] < oltp_only.outcomes["dsm_ms"]
+
+    def test_pdsm_between_the_extremes_on_oltp(self):
+        (point,) = pdsm_mixed_workload_sweep(oltp_shares=(1.0,))
+        assert (
+            point.outcomes["nsm_ms"]
+            < point.outcomes["pdsm_ms"]
+            < point.outcomes["dsm_ms"]
+        )
+
+    def test_pdsm_matches_dsm_on_olap(self):
+        """Arulraj 2016: PDSM is 'less efficient than DSM for several
+        cases' — here the hot-column split makes the scan equal-cost,
+        never better."""
+        (point,) = pdsm_mixed_workload_sweep(oltp_shares=(0.0,))
+        assert point.outcomes["pdsm_ms"] == pytest.approx(
+            point.outcomes["dsm_ms"], rel=0.01
+        )
+
+
+class TestGpuTxBulk:
+    def test_per_tx_cost_collapses_with_bulk_size(self):
+        points = gputx_bulk_size_sweep(bulk_sizes=(1, 64, 4096))
+        costs = [p.outcomes["per_tx_us"] for p in points]
+        assert costs[0] > 10 * costs[1] > 10 * costs[2]
+
+
+class TestProcessingModels:
+    def test_bulk_always_wins_and_gap_grows_absolutely(self):
+        points = processing_model_sweep(row_counts=(1_000, 100_000))
+        for point in points:
+            assert point.outcomes["bulk_ms"] < point.outcomes["volcano_ms"]
+        gap_small = points[0].outcomes["volcano_ms"] - points[0].outcomes["bulk_ms"]
+        gap_large = points[-1].outcomes["volcano_ms"] - points[-1].outcomes["bulk_ms"]
+        assert gap_large > gap_small

@@ -1,0 +1,75 @@
+"""Unit tests for the Figure 2 harness itself (repro.bench)."""
+
+import pytest
+
+from repro.bench import (
+    PanelResult,
+    SeriesPoint,
+    build_column_store,
+    build_device_column_store,
+    build_row_store,
+    panel1_materialize_customers,
+    render_panel,
+)
+from repro.hardware.memory import MemoryKind
+from repro.layout.linearization import LinearizationKind
+from repro.workload import item_relation
+
+
+class TestStoreBuilders:
+    def test_row_store_is_one_nsm_phantom(self, platform):
+        store = build_row_store(platform, item_relation(1000))
+        assert len(store) == 1
+        fragment = store.fragments[0]
+        assert fragment.linearization is LinearizationKind.NSM
+        assert fragment.is_phantom and fragment.filled == 1000
+
+    def test_column_store_one_fragment_per_attribute(self, platform):
+        store = build_column_store(platform, item_relation(1000))
+        assert len(store) == 5
+        assert all(f.region.is_column for f in store.fragments)
+        store.validate()
+
+    def test_device_store_places_requested_columns(self, platform):
+        store = build_device_column_store(
+            platform, item_relation(1000), ("i_price",)
+        )
+        spaces = {
+            f.region.attributes[0]: f.space.kind for f in store.fragments
+        }
+        assert spaces["i_price"] is MemoryKind.DEVICE
+        assert spaces["i_id"] is MemoryKind.HOST
+
+    def test_stores_account_simulated_memory(self, platform):
+        build_row_store(platform, item_relation(1000))
+        assert platform.host_memory.used == 1000 * 28
+
+
+class TestPanelResult:
+    def test_y_at(self):
+        panel = PanelResult(
+            "t", {"s": (SeriesPoint(10, 1.0, 0.5), SeriesPoint(20, 2.0, 1.0))}
+        )
+        assert panel.y_at("s", 20) == 1.0
+        with pytest.raises(KeyError):
+            panel.y_at("s", 30)
+
+    def test_render_contains_all_series_and_rows(self):
+        panel = panel1_materialize_customers(row_counts=(5_000_000,))
+        rendered = render_panel(panel)
+        assert "5M" in rendered
+        for name in panel.series:
+            assert name in rendered
+
+    def test_points_follow_x_axis(self):
+        panel = panel1_materialize_customers(row_counts=(5_000_000, 25_000_000))
+        for points in panel.series.values():
+            assert [p.rows for p in points] == [5_000_000, 25_000_000]
+
+    def test_milliseconds_consistent_with_cycles(self):
+        panel = panel1_materialize_customers(row_counts=(5_000_000,))
+        for points in panel.series.values():
+            point = points[0]
+            assert point.milliseconds == pytest.approx(
+                point.cycles / 2.6e9 * 1e3
+            )

@@ -1,0 +1,28 @@
+"""CLI entry point tests (python -m repro)."""
+
+from repro.__main__ import main
+
+
+def test_default_survey_succeeds(capsys):
+    assert main([]) == 0
+    output = capsys.readouterr().out
+    assert "PAX" in output and "Peloton" in output
+    assert "all six" in output
+
+
+def test_taxonomy(capsys):
+    assert main(["taxonomy"]) == 0
+    assert "Fragment Linearization" in capsys.readouterr().out
+
+
+def test_unknown_command(capsys):
+    assert main(["bogus"]) == 2
+    assert "unknown command" in capsys.readouterr().out
+
+
+def test_figure2_command(capsys):
+    assert main(["figure2"]) == 0
+    output = capsys.readouterr().out
+    assert "materialize 150 customers" in output
+    assert "transfer excluded" in output
+    assert output.count("column-store / device") >= 2

@@ -1,0 +1,94 @@
+"""Figure 2 acceptance: the paper's findings (i)-(iv) hold for every
+panel, at paper scale, on the simulated platform.
+
+These are the reproduction's quantitative acceptance criteria from
+DESIGN.md §4.  Each panel runs on a reduced x-axis (first/last paper
+points) to keep the suite fast; the benchmark harness runs the full
+axes.
+"""
+
+import pytest
+
+from repro.bench import (
+    check_panel1_shapes,
+    check_panel2_shapes,
+    check_panel3_shapes,
+    check_panel4_shapes,
+    panel1_materialize_customers,
+    panel2_sum_selected_items,
+    panel3_sum_all_transfer_included,
+    panel4_sum_all_device_resident,
+)
+
+
+@pytest.fixture(scope="module")
+def panel1():
+    return panel1_materialize_customers(row_counts=(5_000_000, 85_000_000))
+
+
+@pytest.fixture(scope="module")
+def panel2():
+    return panel2_sum_selected_items(row_counts=(10_000_000, 60_000_000))
+
+
+@pytest.fixture(scope="module")
+def panel3():
+    return panel3_sum_all_transfer_included(row_counts=(5_000_000, 65_000_000))
+
+
+@pytest.fixture(scope="module")
+def panel4():
+    return panel4_sum_all_device_resident(row_counts=(5_000_000, 65_000_000))
+
+
+class TestPanelShapes:
+    def test_panel1_findings_i_and_ii(self, panel1):
+        assert check_panel1_shapes(panel1) == []
+
+    def test_panel2_findings_i_and_ii(self, panel2):
+        assert check_panel2_shapes(panel2) == []
+
+    def test_panel3_finding_iii_and_transfer_penalty(self, panel3):
+        assert check_panel3_shapes(panel3) == []
+
+    def test_panel4_finding_iv(self, panel4):
+        assert check_panel4_shapes(panel4) == []
+
+
+class TestPanelMagnitudes:
+    def test_row_store_materialization_factor(self, panel1):
+        """NSM materializes ~21-column records an order of magnitude
+        cheaper than DSM (one record access vs. 21 column accesses)."""
+        row = panel1.y_at("row-store / host & single-threaded", 85_000_000)
+        column = panel1.y_at("column-store / host & single-threaded", 85_000_000)
+        assert 5 <= column / row <= 50
+
+    def test_column_scan_factor(self, panel3):
+        """DSM scans 8 of 28 record bytes: a ~2.5-3.5x advantage."""
+        row = panel3.y_at("row-store / host & single-threaded", 65_000_000)
+        column = panel3.y_at("column-store / host & single-threaded", 65_000_000)
+        assert 1.5 <= row / column <= 5
+
+    def test_device_advantage_factor(self, panel4):
+        """The resident GPU sum wins by roughly device/host bandwidth."""
+        host = panel4.y_at("column-store / host & multi-threaded", 65_000_000)
+        device = panel4.y_at("column-store / device", 65_000_000)
+        assert 2 <= host / device <= 20
+
+    def test_scans_scale_linearly(self, panel3):
+        """Full-column sums are linear in the row count."""
+        small = panel3.y_at("column-store / host & single-threaded", 5_000_000)
+        large = panel3.y_at("column-store / host & single-threaded", 65_000_000)
+        assert large / small == pytest.approx(13.0, rel=0.15)
+
+    def test_point_queries_nearly_flat(self, panel1):
+        """150 point accesses grow only via TLB effects, not linearly."""
+        small = panel1.y_at("row-store / host & single-threaded", 5_000_000)
+        large = panel1.y_at("row-store / host & single-threaded", 85_000_000)
+        assert large / small < 2.0
+
+    def test_transfer_dominates_panel3_device(self, panel3, panel4):
+        """Panels 3 vs 4 differ exactly by the staging cost."""
+        with_transfer = panel3.y_at("column-store / device", 65_000_000)
+        resident = panel4.y_at("column-store / device", 65_000_000)
+        assert with_transfer > 5 * resident

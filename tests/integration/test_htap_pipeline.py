@@ -1,0 +1,105 @@
+"""End-to-end HTAP scenario: a mixed workload against adaptive engines.
+
+Drives an HTAPMix query stream through engines, checks every answer
+against a plain-Python oracle, and verifies that responsive engines end
+up cheaper after adaptation than before.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reference_engine import ReferenceEngine
+from repro.engines import H2OEngine, HyriseEngine, PelotonEngine
+from repro.execution import ExecutionContext
+from repro.hardware import Platform
+from repro.workload import HTAPMix, QueryShape, generate_items, item_relation, item_schema
+
+ROWS = 600
+
+
+def oracle_columns(columns):
+    return {name: list(values) for name, values in columns.items()}
+
+
+def run_mix(engine, platform, mix, count):
+    """Run the mix, mirroring every write into a Python oracle."""
+    ctx = ExecutionContext(platform)
+    oracle = oracle_columns(generate_items(ROWS))
+    for query in mix.queries(count):
+        if query.shape is QueryShape.FULL_SUM:
+            got = engine.sum("item", query.attributes[0], ctx)
+            want = float(np.sum(oracle[query.attributes[0]]))
+            assert got == pytest.approx(want), query
+        elif query.shape is QueryShape.POINT_MATERIALIZE:
+            rows = engine.materialize("item", list(query.positions), ctx)
+            for row, position in zip(rows, query.positions):
+                assert row[0] == oracle["i_id"][position]
+        else:  # POINT_UPDATE
+            position = query.positions[0]
+            attribute = query.attributes[0]
+            value = float(len(oracle[attribute]) % 97)
+            engine.update("item", position, attribute, value, ctx)
+            oracle[attribute][position] = value
+    return ctx
+
+
+ENGINES = {
+    "HYRISE": HyriseEngine,
+    "H2O": lambda p: H2OEngine(p, hot_columns=("i_price",)),
+    "Peloton": lambda p: PelotonEngine(p, tile_group_rows=128),
+    "Reference": lambda p: ReferenceEngine(p, delta_tile_rows=128),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ENGINES))
+def test_mixed_workload_correctness(name):
+    platform = Platform.paper_testbed()
+    engine = ENGINES[name](platform)
+    engine.create("item", item_schema())
+    engine.load("item", generate_items(ROWS))
+    mix = HTAPMix(item_relation(ROWS), oltp_fraction=0.5, seed=17)
+    run_mix(engine, platform, mix, count=60)
+
+
+@pytest.mark.parametrize("name", sorted(ENGINES))
+def test_adaptation_pays_off_for_scan_heavy_drift(name):
+    """Workload drifts to pure OLAP; after reorganize, scans are no
+    more expensive than before (strictly cheaper for layout-changing
+    engines)."""
+    platform = Platform.paper_testbed()
+    engine = ENGINES[name](platform)
+    engine.create("item", item_schema())
+    engine.load("item", generate_items(ROWS))
+    ctx = ExecutionContext(platform)
+    for __ in range(30):
+        engine.sum("item", "i_price", ctx)
+    before = ExecutionContext(platform)
+    engine.sum("item", "i_price", before)
+    engine.reorganize("item", ExecutionContext(platform))
+    after = ExecutionContext(platform)
+    engine.sum("item", "i_price", after)
+    assert after.cycles <= before.cycles
+
+
+def test_reference_engine_full_htap_lifecycle():
+    """Load -> mixed queries -> inserts -> merge -> device-accelerated
+    analytics, all values checked."""
+    platform = Platform.paper_testbed()
+    engine = ReferenceEngine(platform, delta_tile_rows=64)
+    engine.create("item", item_schema())
+    columns = generate_items(ROWS)
+    engine.load("item", columns)
+    ctx = ExecutionContext(platform)
+
+    expected = float(np.sum(columns["i_price"]))
+    for i in range(20):
+        engine.insert("item", (ROWS + i, 1, "AA", "B", 10.0), ctx)
+        expected += 10.0
+    engine.update("item", 0, "i_price", 1.0, ctx)
+    expected += 1.0 - float(columns["i_price"][0])
+    assert engine.sum("item", "i_price", ctx) == pytest.approx(expected)
+
+    assert engine.reorganize("item", ctx)
+    assert engine.sum("item", "i_price", ctx) == pytest.approx(expected)
+    assert engine.point_query("item", ROWS + 5, ctx)[4] == 10.0
+    assert engine.placed_columns("item")

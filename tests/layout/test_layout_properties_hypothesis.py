@@ -1,0 +1,111 @@
+"""Property-based tests on layout/region algebra invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.hardware.memory import MemoryKind, MemorySpace
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import LinearizationKind
+from repro.layout.region import Region
+from repro.model.datatypes import INT32
+from repro.model.relation import Relation, RowRange
+from repro.model.schema import Schema
+
+ATTRS = ("a", "b", "c", "d")
+
+
+def make_relation(rows):
+    return Relation("r", Schema.of(*[(n, INT32) for n in ATTRS]), rows)
+
+
+ranges = st.tuples(st.integers(0, 50), st.integers(0, 50)).map(
+    lambda pair: RowRange(min(pair), max(pair) + 1)
+)
+attr_subsets = st.lists(
+    st.sampled_from(ATTRS), min_size=1, max_size=4, unique=True
+).map(tuple)
+regions = st.builds(Region, ranges, attr_subsets)
+
+
+class TestRegionAlgebra:
+    @given(regions, regions)
+    def test_overlap_symmetric(self, first, second):
+        assert first.overlaps(second) == second.overlaps(first)
+
+    @given(regions)
+    def test_self_overlap(self, region):
+        assert region.overlaps(region)
+
+    @given(regions, regions)
+    def test_overlap_iff_shared_cell(self, first, second):
+        shared = any(
+            first.contains(row, attribute) and second.contains(row, attribute)
+            for row in range(
+                max(first.rows.start, second.rows.start),
+                min(first.rows.stop, second.rows.stop),
+            )
+            for attribute in ATTRS
+        )
+        assert first.overlaps(second) == shared
+
+    @given(regions)
+    def test_fat_thin_partition(self, region):
+        assert region.is_fat != region.is_thin
+
+
+class TestLayoutCoverage:
+    @given(
+        st.integers(4, 60),
+        st.integers(1, 20),
+        st.permutations(ATTRS),
+        st.sets(st.integers(1, 3), max_size=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_grid_partitions_always_validate(self, rows, chunk, order, cuts):
+        """Any vertical grouping crossed with any row chunking covers."""
+        bounds = [0, *sorted(cuts), len(ATTRS)]
+        groups = [
+            order[start:stop]
+            for start, stop in zip(bounds, bounds[1:])
+            if stop > start
+        ]
+        relation = make_relation(rows)
+        space = MemorySpace("h", MemoryKind.HOST, 1 << 22)
+        fragments = []
+        for group in groups:
+            for row_range in relation.rows.split(chunk):
+                region = Region(row_range, tuple(group))
+                fragments.append(
+                    Fragment(
+                        region,
+                        relation.schema,
+                        LinearizationKind.NSM if region.is_fat else None,
+                        space,
+                        materialize=False,
+                    )
+                )
+        Layout("grid", relation, fragments)  # validates on construction
+
+    @given(st.integers(4, 40), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_removing_any_fragment_breaks_coverage(self, rows, chunk):
+        relation = make_relation(rows)
+        space = MemorySpace("h", MemoryKind.HOST, 1 << 22)
+        fragments = []
+        for row_range in relation.rows.split(chunk):
+            region = Region(row_range, ATTRS)
+            fragments.append(
+                Fragment(
+                    region,
+                    relation.schema,
+                    LinearizationKind.NSM if region.is_fat else None,
+                    space,
+                    materialize=False,
+                )
+            )
+        layout = Layout("h", relation, fragments)
+        layout.remove_fragment(fragments[len(fragments) // 2])
+        with pytest.raises(LayoutError):
+            layout.validate()

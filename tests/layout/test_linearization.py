@@ -1,0 +1,81 @@
+"""Byte-exact linearization tests pinned to Figure 3's formats."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.linearization import (
+    LinearizationKind,
+    dsm_field_offset,
+    dsm_serialize,
+    nsm_field_offset,
+    nsm_serialize,
+)
+from repro.model.datatypes import INT32
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(("A", INT32), ("B", INT32), ("C", INT32))
+
+
+@pytest.fixture
+def rows():
+    return [(11, 12, 13), (21, 22, 23), (31, 32, 33)]
+
+
+def int32(value: int) -> bytes:
+    return value.to_bytes(4, "little")
+
+
+class TestNSM:
+    def test_figure3_order(self, schema, rows):
+        """NSM-Fixed: a1 b1 c1 a2 b2 c2 a3 b3 c3."""
+        expected = b"".join(
+            int32(v) for v in (11, 12, 13, 21, 22, 23, 31, 32, 33)
+        )
+        assert nsm_serialize(schema, rows) == expected
+
+    def test_field_offset(self, schema):
+        assert nsm_field_offset(schema, 0, "A") == 0
+        assert nsm_field_offset(schema, 1, "B") == 12 + 4
+
+    def test_is_row_major(self):
+        assert LinearizationKind.NSM.is_row_major
+        assert not LinearizationKind.DSM.is_row_major
+
+
+class TestDSM:
+    def test_figure3_order(self, schema, rows):
+        """DSM-Fixed: a1 a2 a3 b1 b2 b3 c1 c2 c3 (ONE block)."""
+        expected = b"".join(
+            int32(v) for v in (11, 21, 31, 12, 22, 32, 13, 23, 33)
+        )
+        assert dsm_serialize(schema, rows) == expected
+
+    def test_field_offset(self, schema):
+        assert dsm_field_offset(schema, 3, 0, "A") == 0
+        assert dsm_field_offset(schema, 3, 1, "B") == 3 * 4 + 4
+        assert dsm_field_offset(schema, 3, 2, "C") == 2 * 3 * 4 + 2 * 4
+
+    def test_out_of_range_row(self, schema):
+        with pytest.raises(LayoutError):
+            dsm_field_offset(schema, 3, 3, "A")
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(LayoutError):
+            dsm_field_offset(schema, 3, 0, "Z")
+
+    def test_ragged_rows_rejected(self, schema):
+        with pytest.raises(LayoutError):
+            dsm_serialize(schema, [(1, 2)])
+
+
+class TestEquivalence:
+    def test_same_bytes_different_order(self, schema, rows):
+        """NSM and DSM hold identical multisets of field bytes."""
+        nsm = nsm_serialize(schema, rows)
+        dsm = dsm_serialize(schema, rows)
+        assert len(nsm) == len(dsm)
+        chunk = lambda data: sorted(data[i : i + 4] for i in range(0, len(data), 4))
+        assert chunk(nsm) == chunk(dsm)

@@ -1,0 +1,97 @@
+"""Partitioning strategy tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.partitioning import (
+    PartitioningOrder,
+    composite_partition,
+    horizontal_partition,
+    one_region_per_attribute,
+    vertical_partition,
+)
+from repro.model.datatypes import INT32
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    return Relation(
+        "r", Schema.of(("a", INT32), ("b", INT32), ("c", INT32), ("d", INT32)), 10
+    )
+
+
+class TestVertical:
+    def test_groups(self, relation):
+        regions = vertical_partition(relation, [("a", "c"), ("b", "d")])
+        assert [r.attributes for r in regions] == [("a", "c"), ("b", "d")]
+        assert all(r.rows == relation.rows for r in regions)
+
+    def test_must_partition(self, relation):
+        with pytest.raises(LayoutError):
+            vertical_partition(relation, [("a",), ("b",)])
+
+    def test_one_per_attribute(self, relation):
+        regions = one_region_per_attribute(relation)
+        assert len(regions) == 4
+        assert all(r.is_column for r in regions)
+
+
+class TestHorizontal:
+    def test_chunks(self, relation):
+        regions = horizontal_partition(relation, 4)
+        assert [r.row_count for r in regions] == [4, 4, 2]
+
+    def test_empty_relation(self):
+        empty = Relation("e", Schema.of(("a", INT32)), 0)
+        assert horizontal_partition(empty, 4) == []
+
+    def test_invalid_chunk(self, relation):
+        with pytest.raises(LayoutError):
+            horizontal_partition(relation, 0)
+
+
+class TestComposite:
+    def test_both_orders_same_grid(self, relation):
+        groups = [("a", "b"), ("c", "d")]
+        vertical_first = composite_partition(
+            relation, groups, 4, PartitioningOrder.VERTICAL_THEN_HORIZONTAL
+        )
+        horizontal_first = composite_partition(
+            relation, groups, 4, PartitioningOrder.HORIZONTAL_THEN_VERTICAL
+        )
+        assert sorted(str(r) for r in vertical_first) == sorted(
+            str(r) for r in horizontal_first
+        )
+
+    def test_vertical_first_grouping(self, relation):
+        regions = composite_partition(
+            relation, [("a", "b"), ("c", "d")], 4,
+            PartitioningOrder.VERTICAL_THEN_HORIZONTAL,
+        )
+        # All chunks of the first sub-relation come before the second's.
+        assert [r.attributes for r in regions[:3]] == [("a", "b")] * 3
+
+    def test_horizontal_first_grouping(self, relation):
+        regions = composite_partition(
+            relation, [("a", "b"), ("c", "d")], 4,
+            PartitioningOrder.HORIZONTAL_THEN_VERTICAL,
+        )
+        assert [r.attributes for r in regions[:2]] == [("a", "b"), ("c", "d")]
+
+    def test_empty_relation(self):
+        empty = Relation("e", Schema.of(("a", INT32), ("b", INT32)), 0)
+        assert composite_partition(
+            empty, [("a",), ("b",)], 4, PartitioningOrder.VERTICAL_THEN_HORIZONTAL
+        ) == []
+
+
+@given(st.integers(1, 50), st.integers(1, 8))
+def test_composite_covers_every_cell(rows, chunk):
+    relation = Relation("r", Schema.of(("a", INT32), ("b", INT32)), rows)
+    regions = composite_partition(
+        relation, [("a",), ("b",)], chunk, PartitioningOrder.VERTICAL_THEN_HORIZONTAL
+    )
+    assert sum(r.cell_count for r in regions) == rows * 2

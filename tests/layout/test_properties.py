@@ -1,0 +1,197 @@
+"""Linearization-property derivation tests, including Figure 3's examples."""
+
+import pytest
+
+from repro.errors import ClassificationError
+from repro.hardware.memory import MemoryKind, MemorySpace
+from repro.layout.fragment import Fragment
+from repro.layout.linearization import LinearizationKind
+from repro.layout.properties import (
+    LinearizationProperty,
+    derive_linearization_property,
+)
+from repro.layout.region import Region
+from repro.model.datatypes import INT32
+from repro.model.relation import Relation, RowRange
+from repro.model.schema import Schema
+
+NSM = LinearizationKind.NSM
+DSM = LinearizationKind.DSM
+
+
+@pytest.fixture
+def space():
+    return MemorySpace("host", MemoryKind.HOST, 1 << 20)
+
+
+@pytest.fixture
+def relation():
+    """Figure 3's R(A..E) with 4 rows."""
+    return Relation(
+        "R",
+        Schema.of(("A", INT32), ("B", INT32), ("C", INT32), ("D", INT32), ("E", INT32)),
+        4,
+    )
+
+
+def fragment(relation, space, rows, attributes, kind=None):
+    region = Region(rows, attributes)
+    return Fragment(region, relation.schema, kind if region.is_fat else None, space)
+
+
+class TestFigure3Examples:
+    def test_weak_flexible_layout1(self, relation, space):
+        """Layout 1: fat {A,B,C} + fat {D,E} — vertical, fat fragments."""
+        population = [
+            fragment(relation, space, relation.rows, ("A", "B", "C"), NSM),
+            fragment(relation, space, relation.rows, ("D", "E"), DSM),
+        ]
+        derived = derive_linearization_property(
+            population, fat_formats={NSM, DSM}, per_fragment_choice=True
+        )
+        assert derived is LinearizationProperty.FAT_VARIABLE
+
+    def test_strong_flexible_layout2(self, relation, space):
+        """Layout 2 mixes vertical and horizontal cuts (strong flexible)."""
+        population = [
+            fragment(relation, space, RowRange(0, 2), ("A", "B", "C"), NSM),
+            fragment(relation, space, RowRange(2, 4), ("A", "B", "C"), NSM),
+            fragment(relation, space, relation.rows, ("D",)),
+            fragment(relation, space, relation.rows, ("E",)),
+        ]
+        derived = derive_linearization_property(population, fat_formats={NSM})
+        assert derived is LinearizationProperty.VARIABLE_NSM_FIXED_PARTIALLY_DSM_EMULATED
+
+
+class TestFatOnly:
+    def test_nsm_fixed(self, relation, space):
+        population = [fragment(relation, space, relation.rows, relation.schema.names, NSM)]
+        assert (
+            derive_linearization_property(population, fat_formats={NSM})
+            is LinearizationProperty.FAT_NSM_FIXED
+        )
+
+    def test_dsm_fixed(self, relation, space):
+        population = [fragment(relation, space, relation.rows, relation.schema.names, DSM)]
+        assert (
+            derive_linearization_property(population, fat_formats={DSM})
+            is LinearizationProperty.FAT_DSM_FIXED
+        )
+
+    def test_nsm_plus_dsm_fixed_without_choice(self, relation, space):
+        """Fractured Mirrors: both formats, but fixed per layout."""
+        population = [
+            fragment(relation, space, relation.rows, relation.schema.names, NSM),
+            fragment(relation, space, relation.rows, relation.schema.names, DSM),
+        ]
+        derived = derive_linearization_property(
+            population, fat_formats={NSM, DSM}, per_fragment_choice=False
+        )
+        assert derived is LinearizationProperty.FAT_NSM_PLUS_DSM_FIXED
+
+    def test_variable_with_choice(self, relation, space):
+        population = [fragment(relation, space, relation.rows, relation.schema.names, NSM)]
+        derived = derive_linearization_property(
+            population, fat_formats={NSM, DSM}, per_fragment_choice=True
+        )
+        assert derived is LinearizationProperty.FAT_VARIABLE
+
+    def test_capability_defaults_to_observation(self, relation, space):
+        population = [fragment(relation, space, relation.rows, relation.schema.names, DSM)]
+        assert (
+            derive_linearization_property(population)
+            is LinearizationProperty.FAT_DSM_FIXED
+        )
+
+
+class TestThinOnly:
+    def test_dsm_emulated(self, relation, space):
+        population = [
+            fragment(relation, space, relation.rows, (name,))
+            for name in relation.schema.names
+        ]
+        assert (
+            derive_linearization_property(population)
+            is LinearizationProperty.THIN_DSM_EMULATED
+        )
+
+    def test_nsm_emulated(self, relation, space):
+        population = [
+            fragment(relation, space, RowRange(i, i + 1), relation.schema.names)
+            for i in range(4)
+        ]
+        assert (
+            derive_linearization_property(population)
+            is LinearizationProperty.THIN_NSM_EMULATED
+        )
+
+    def test_single_attribute_relation_is_direct(self, space):
+        narrow = Relation("n", Schema.of(("only", INT32)), 4)
+        population = [fragment(narrow, space, narrow.rows, ("only",))]
+        assert (
+            derive_linearization_property(population, relation_arity=1)
+            is LinearizationProperty.DIRECT
+        )
+
+    def test_single_cells_are_direct(self, relation, space):
+        population = [fragment(relation, space, RowRange(0, 1), ("A",))]
+        assert (
+            derive_linearization_property(population)
+            is LinearizationProperty.DIRECT
+        )
+
+    def test_mixed_orientations_unclassifiable(self, relation, space):
+        population = [
+            fragment(relation, space, relation.rows, ("A",)),
+            fragment(relation, space, RowRange(0, 1), ("B", "C", "D", "E")),
+        ]
+        with pytest.raises(ClassificationError):
+            derive_linearization_property(population)
+
+
+class TestMixedFatThin:
+    def test_dsm_fixed_partially_nsm_emulated(self, relation, space):
+        population = [
+            fragment(relation, space, RowRange(0, 2), ("A", "B"), DSM),
+            fragment(relation, space, RowRange(2, 3), ("A", "B")),
+            fragment(relation, space, RowRange(3, 4), ("A", "B")),
+            fragment(relation, space, RowRange(0, 2), ("C", "D", "E"), DSM),
+            fragment(relation, space, RowRange(2, 3), ("C", "D", "E")),
+            fragment(relation, space, RowRange(3, 4), ("C", "D", "E")),
+        ]
+        derived = derive_linearization_property(population, fat_formats={DSM})
+        assert derived is LinearizationProperty.VARIABLE_DSM_FIXED_PARTIALLY_NSM_EMULATED
+
+    def test_choice_overrides_partial_emulation(self, relation, space):
+        """HYRISE-like: capability for both formats means the partial
+        emulation is incidental and the property is plain variable."""
+        population = [
+            fragment(relation, space, relation.rows, ("A", "B"), NSM),
+            fragment(relation, space, relation.rows, ("C",)),
+            fragment(relation, space, relation.rows, ("D",)),
+            fragment(relation, space, relation.rows, ("E",)),
+        ]
+        derived = derive_linearization_property(
+            population, fat_formats={NSM, DSM}, per_fragment_choice=True
+        )
+        assert derived is LinearizationProperty.FAT_VARIABLE
+
+
+class TestMeta:
+    def test_empty_population_rejected(self):
+        with pytest.raises(ClassificationError):
+            derive_linearization_property([])
+
+    def test_covers_nsm_and_dsm(self):
+        assert LinearizationProperty.FAT_VARIABLE.covers_nsm_and_dsm
+        assert LinearizationProperty.FAT_NSM_PLUS_DSM_FIXED.covers_nsm_and_dsm
+        assert not LinearizationProperty.FAT_NSM_FIXED.covers_nsm_and_dsm
+        assert not LinearizationProperty.THIN_DSM_EMULATED.covers_nsm_and_dsm
+
+    def test_labels_match_table1_vocabulary(self):
+        assert LinearizationProperty.FAT_DSM_FIXED.label == "fat, DSM-fixed"
+        assert LinearizationProperty.THIN_DSM_EMULATED.label == "thin, DSM-emulated"
+        assert (
+            LinearizationProperty.VARIABLE_NSM_FIXED_PARTIALLY_DSM_EMULATED.label
+            == "v. NSM-fixed p. DSM-emul."
+        )

@@ -1,0 +1,91 @@
+"""Region tests: geometry, fat/thin predicates, splits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.region import Region
+from repro.model.datatypes import INT32
+from repro.model.relation import Relation, RowRange
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    return Relation("r", Schema.of(("a", INT32), ("b", INT32), ("c", INT32)), 10)
+
+
+class TestShape:
+    def test_full_region(self, relation):
+        region = Region.full(relation)
+        assert region.row_count == 10 and region.arity == 3
+        assert region.cell_count == 30
+
+    def test_fat_requires_two_by_two(self):
+        assert Region(RowRange(0, 2), ("a", "b")).is_fat
+        assert not Region(RowRange(0, 1), ("a", "b")).is_fat
+        assert not Region(RowRange(0, 2), ("a",)).is_fat
+
+    def test_thin_is_not_fat(self):
+        assert Region(RowRange(0, 5), ("a",)).is_thin
+        assert Region(RowRange(0, 1), ("a", "b", "c")).is_thin
+
+    def test_column_and_row_predicates(self):
+        assert Region(RowRange(0, 5), ("a",)).is_column
+        assert Region(RowRange(0, 1), ("a", "b")).is_row
+
+    def test_single_cell_is_thin(self):
+        cell = Region(RowRange(0, 1), ("a",))
+        assert cell.is_thin and cell.is_column and cell.is_row
+
+
+class TestValidation:
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(LayoutError):
+            Region(RowRange(0, 5), ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(LayoutError):
+            Region(RowRange(0, 5), ("a", "a"))
+
+
+class TestOps:
+    def test_contains(self):
+        region = Region(RowRange(2, 5), ("a", "b"))
+        assert region.contains(3, "a")
+        assert not region.contains(5, "a")
+        assert not region.contains(3, "c")
+
+    def test_overlaps_requires_both_axes(self):
+        base = Region(RowRange(0, 5), ("a",))
+        assert base.overlaps(Region(RowRange(4, 6), ("a", "b")))
+        assert not base.overlaps(Region(RowRange(4, 6), ("b",)))
+        assert not base.overlaps(Region(RowRange(5, 9), ("a",)))
+
+    def test_split_horizontal(self, relation):
+        parts = Region.full(relation).split_horizontal(4)
+        assert [p.rows for p in parts] == [RowRange(0, 4), RowRange(4, 8), RowRange(8, 10)]
+        assert all(p.attributes == ("a", "b", "c") for p in parts)
+
+    def test_split_vertical(self, relation):
+        parts = Region.full(relation).split_vertical([("a", "c"), ("b",)])
+        assert parts[0].attributes == ("a", "c")
+        assert parts[1].attributes == ("b",)
+
+    def test_split_vertical_must_partition(self, relation):
+        with pytest.raises(LayoutError):
+            Region.full(relation).split_vertical([("a",), ("b",)])
+        with pytest.raises(LayoutError):
+            Region.full(relation).split_vertical([("a", "b"), ("b", "c")])
+
+    def test_schema_of_projects(self, relation):
+        region = Region(relation.rows, ("c", "a"))
+        assert region.schema_of(relation.schema).names == ("c", "a")
+
+
+@given(st.integers(1, 100), st.integers(1, 10))
+def test_horizontal_split_covers_property(rows, chunk):
+    region = Region(RowRange(0, rows), ("a", "b"))
+    parts = region.split_horizontal(chunk)
+    assert sum(p.row_count for p in parts) == rows
+    assert all(not p1.overlaps(p2) for i, p1 in enumerate(parts) for p2 in parts[i + 1:])

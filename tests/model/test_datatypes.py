@@ -1,0 +1,99 @@
+"""Unit tests for fixed-width data types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.model.datatypes import FLOAT64, INT32, INT64, char
+
+
+class TestWidths:
+    def test_int32_width(self):
+        assert INT32.width == 4
+
+    def test_int64_width(self):
+        assert INT64.width == 8
+
+    def test_float64_width(self):
+        assert FLOAT64.width == 8
+
+    def test_char_width(self):
+        assert char(13).width == 13
+
+    def test_char_rejects_zero_width(self):
+        with pytest.raises(SchemaError):
+            char(0)
+
+    def test_char_rejects_negative_width(self):
+        with pytest.raises(SchemaError):
+            char(-3)
+
+
+class TestEncodeDecode:
+    def test_int32_roundtrip(self):
+        assert INT32.decode(INT32.encode(-12345)) == -12345
+
+    def test_int64_roundtrip(self):
+        assert INT64.decode(INT64.encode(2**40)) == 2**40
+
+    def test_float64_roundtrip(self):
+        assert FLOAT64.decode(FLOAT64.encode(3.14159)) == 3.14159
+
+    def test_char_roundtrip(self):
+        c = char(8)
+        assert c.decode(c.encode("abc")) == "abc"
+
+    def test_char_pads_to_width(self):
+        assert len(char(8).encode("ab")) == 8
+
+    def test_char_rejects_overflow(self):
+        with pytest.raises(SchemaError):
+            char(2).validate("toolong")
+
+    def test_int32_encode_is_little_endian(self):
+        assert INT32.encode(1) == b"\x01\x00\x00\x00"
+
+    def test_encoded_length_matches_width(self):
+        for dtype, value in ((INT32, 7), (INT64, 7), (FLOAT64, 7.0), (char(5), "x")):
+            assert len(dtype.encode(value)) == dtype.width
+
+    def test_int32_overflow_rejected(self):
+        with pytest.raises(SchemaError):
+            INT32.validate(2**40)
+
+    def test_validate_rejects_non_numeric(self):
+        with pytest.raises(SchemaError):
+            INT64.validate("not a number")
+
+
+class TestNumpyDtypes:
+    def test_int32_numpy(self):
+        assert INT32.numpy_dtype().itemsize == 4
+
+    def test_char_numpy(self):
+        assert char(6).numpy_dtype().itemsize == 6
+
+    def test_numpy_widths_match_declared(self):
+        for dtype in (INT32, INT64, FLOAT64, char(3), char(17)):
+            assert dtype.numpy_dtype().itemsize == dtype.width
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int32_roundtrip_property(value):
+    assert INT32.decode(INT32.encode(value)) == value
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_int64_roundtrip_property(value):
+    assert INT64.decode(INT64.encode(value)) == value
+
+
+@given(st.floats(allow_nan=False))
+def test_float64_roundtrip_property(value):
+    assert FLOAT64.decode(FLOAT64.encode(value)) == value
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=8))
+def test_char_roundtrip_property(value):
+    c = char(8)
+    assert c.decode(c.encode(value)) == value.rstrip("\x00")

@@ -1,0 +1,86 @@
+"""Unit tests for logical relations and row ranges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.model.datatypes import INT32
+from repro.model.relation import Relation, RowRange
+from repro.model.schema import Schema
+
+
+class TestRowRange:
+    def test_count(self):
+        assert RowRange(3, 10).count == 7
+
+    def test_contains_boundaries(self):
+        r = RowRange(3, 10)
+        assert r.contains(3)
+        assert r.contains(9)
+        assert not r.contains(10)
+        assert not r.contains(2)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(SchemaError):
+            RowRange(5, 4)
+        with pytest.raises(SchemaError):
+            RowRange(-1, 4)
+
+    def test_empty_range_allowed(self):
+        assert RowRange(5, 5).count == 0
+
+    def test_overlaps(self):
+        assert RowRange(0, 5).overlaps(RowRange(4, 8))
+        assert not RowRange(0, 5).overlaps(RowRange(5, 8))
+
+    def test_intersection(self):
+        assert RowRange(0, 5).intersection(RowRange(3, 8)) == RowRange(3, 5)
+        assert RowRange(0, 3).intersection(RowRange(3, 8)) is None
+
+    def test_split_exact(self):
+        parts = RowRange(0, 9).split(3)
+        assert parts == [RowRange(0, 3), RowRange(3, 6), RowRange(6, 9)]
+
+    def test_split_remainder(self):
+        parts = RowRange(0, 10).split(4)
+        assert parts[-1] == RowRange(8, 10)
+
+    def test_split_invalid_chunk(self):
+        with pytest.raises(SchemaError):
+            RowRange(0, 10).split(0)
+
+
+class TestRelation:
+    def test_rows_range(self):
+        relation = Relation("r", Schema.of(("x", INT32)), 7)
+        assert relation.rows == RowRange(0, 7)
+
+    def test_nsm_bytes(self):
+        relation = Relation("r", Schema.of(("x", INT32)), 10)
+        assert relation.nsm_bytes == 40
+
+    def test_resized_preserves_identity(self):
+        relation = Relation("r", Schema.of(("x", INT32)), 7)
+        grown = relation.resized(9)
+        assert grown.name == "r" and grown.row_count == 9
+        assert relation.row_count == 7  # immutable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("", Schema.of(("x", INT32)), 1)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", Schema.of(("x", INT32)), -1)
+
+
+@given(st.integers(0, 1000), st.integers(1, 50))
+def test_split_partitions_exactly(total, chunk):
+    parts = RowRange(0, total).split(chunk)
+    assert sum(p.count for p in parts) == total
+    cursor = 0
+    for part in parts:
+        assert part.start == cursor
+        cursor = part.stop
+    for part in parts:
+        assert part.count <= chunk

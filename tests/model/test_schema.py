@@ -1,0 +1,94 @@
+"""Unit tests for schemas: offsets, projections, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.model.datatypes import FLOAT64, INT32, INT64, char
+from repro.model.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(("id", INT64), ("name", char(6)), ("price", FLOAT64))
+
+
+class TestGeometry:
+    def test_record_width_sums_attribute_widths(self, schema):
+        assert schema.record_width == 8 + 6 + 8
+
+    def test_offsets_are_cumulative(self, schema):
+        assert schema.offset_of("id") == 0
+        assert schema.offset_of("name") == 8
+        assert schema.offset_of("price") == 14
+
+    def test_arity(self, schema):
+        assert schema.arity == 3
+
+    def test_names_order(self, schema):
+        assert schema.names == ("id", "name", "price")
+
+    def test_position_of(self, schema):
+        assert schema.position_of("price") == 2
+
+    def test_contains(self, schema):
+        assert "name" in schema
+        assert "missing" not in schema
+
+    def test_len_and_iter(self, schema):
+        assert len(schema) == 3
+        assert [a.name for a in schema] == ["id", "name", "price"]
+
+
+class TestValidation:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("x", INT32), ("x", INT64))
+
+    def test_unknown_attribute_lookup(self, schema):
+        with pytest.raises(SchemaError):
+            schema.offset_of("nope")
+
+    def test_validate_row_arity(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "a"))
+
+    def test_validate_row_ok(self, schema):
+        schema.validate_row((1, "abc", 2.5))
+
+    def test_validate_row_bad_value(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "way too long a name", 2.5))
+
+
+class TestProjection:
+    def test_project_reorders(self, schema):
+        projected = schema.project(["price", "id"])
+        assert projected.names == ("price", "id")
+        assert projected.record_width == 16
+
+    def test_project_empty_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.project([])
+
+    def test_project_unknown_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.project(["ghost"])
+
+    def test_project_duplicate_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.project(["id", "id"])
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=5, unique=True))
+def test_projection_width_property(names):
+    schema = Schema.of(
+        ("a", INT32), ("b", INT64), ("c", FLOAT64), ("d", char(3)), ("e", char(7))
+    )
+    projected = schema.project(names)
+    assert projected.record_width == sum(schema.attribute(n).width for n in names)
+    assert projected.names == tuple(names)

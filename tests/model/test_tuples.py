@@ -1,0 +1,84 @@
+"""Unit tests for tuple codecs and structured arrays."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.model.datatypes import FLOAT64, INT64, char
+from repro.model.schema import Schema
+from repro.model.tuples import (
+    RecordCodec,
+    rows_to_structured,
+    structured_dtype,
+    structured_to_rows,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(("id", INT64), ("tag", char(4)), ("price", FLOAT64))
+
+
+class TestRecordCodec:
+    def test_roundtrip(self, schema):
+        codec = RecordCodec(schema)
+        row = (42, "ab", 9.75)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_record_width(self, schema):
+        assert RecordCodec(schema).record_width == schema.record_width
+
+    def test_encode_wrong_arity(self, schema):
+        with pytest.raises(SchemaError):
+            RecordCodec(schema).encode((1, "a"))
+
+    def test_decode_short_buffer(self, schema):
+        with pytest.raises(SchemaError):
+            RecordCodec(schema).decode(b"\x00" * 3)
+
+    def test_decode_field(self, schema):
+        codec = RecordCodec(schema)
+        data = codec.encode((7, "zz", 1.5))
+        assert codec.decode_field(data, "price") == 1.5
+        assert codec.decode_field(data, "id") == 7
+
+
+class TestStructured:
+    def test_dtype_is_packed(self, schema):
+        assert structured_dtype(schema).itemsize == schema.record_width
+
+    def test_rows_roundtrip(self, schema):
+        rows = [(1, "aa", 1.0), (2, "bb", 2.0)]
+        array = rows_to_structured(schema, rows)
+        assert structured_to_rows(schema, array) == rows
+
+    def test_structured_bytes_are_nsm(self, schema):
+        rows = [(1, "aa", 1.0), (2, "bb", 2.0)]
+        array = rows_to_structured(schema, rows)
+        codec = RecordCodec(schema)
+        assert array.tobytes() == codec.encode(rows[0]) + codec.encode(rows[1])
+
+    def test_ragged_row_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            rows_to_structured(schema, [(1, "aa")])
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(-(2**31), 2**31 - 1),
+            st.text(alphabet="abcdefgh", max_size=4),
+            st.floats(allow_nan=False, width=32),
+        ),
+        max_size=20,
+    )
+)
+def test_structured_roundtrip_property(rows):
+    schema = Schema.of(("id", INT64), ("tag", char(4)), ("price", FLOAT64))
+    array = rows_to_structured(schema, rows)
+    decoded = structured_to_rows(schema, array)
+    assert len(decoded) == len(rows)
+    for got, want in zip(decoded, rows):
+        assert got[0] == want[0]
+        assert got[1] == want[1]
+        assert got[2] == pytest.approx(want[2])

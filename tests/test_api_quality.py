@@ -1,0 +1,68 @@
+"""Library-wide API quality gates: docstrings and exports.
+
+Every public module, class, function and method in ``repro`` must carry
+a docstring — the documentation deliverable, enforced.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, member in _public_members(module):
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(member):
+            for method_name, method in vars(member).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if method.__doc__ and method.__doc__.strip():
+                    continue
+                # Overrides inherit the base method's documentation.
+                inherited = any(
+                    getattr(base, method_name, None) is not None
+                    and getattr(getattr(base, method_name), "__doc__", None)
+                    for base in member.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, f"{module.__name__}: {undocumented}"
+
+
+def test_all_exports_resolve():
+    for module in MODULES:
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{module.__name__}.__all__ lists {name}"

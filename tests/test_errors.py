@@ -1,0 +1,43 @@
+"""Exception hierarchy contract: one root to catch them all."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import ReproError
+
+
+def all_error_classes():
+    return [
+        member
+        for __, member in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(member, Exception)
+    ]
+
+
+def test_every_library_error_is_a_repro_error():
+    for cls in all_error_classes():
+        assert issubclass(cls, ReproError), cls
+
+    assert len(all_error_classes()) >= 12
+
+
+def test_capacity_is_a_storage_error():
+    from repro.errors import CapacityError, StorageError
+
+    assert issubclass(CapacityError, StorageError)
+
+
+def test_transaction_and_delegation_are_engine_errors():
+    from repro.errors import DelegationError, EngineError, TransactionError
+
+    assert issubclass(TransactionError, EngineError)
+    assert issubclass(DelegationError, EngineError)
+
+
+def test_single_except_clause_suffices():
+    from repro.errors import LayoutError
+
+    with pytest.raises(ReproError):
+        raise LayoutError("caught at the root")

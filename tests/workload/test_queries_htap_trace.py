@@ -1,0 +1,149 @@
+"""Query specs, HTAP mixes, and workload trace tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.execution.access import AccessKind
+from repro.workload.htap import HTAPMix
+from repro.workload.queries import QueryShape, QuerySpec, random_positions
+from repro.workload.tpcc import item_relation
+from repro.workload.trace import WorkloadTrace
+
+
+class TestQuerySpec:
+    def test_point_needs_positions(self):
+        with pytest.raises(WorkloadError):
+            QuerySpec(QueryShape.POINT_MATERIALIZE, "item", ("i_id",))
+
+    def test_full_sum_takes_no_positions(self):
+        with pytest.raises(WorkloadError):
+            QuerySpec(QueryShape.FULL_SUM, "item", ("i_price",), positions=(1,))
+
+    def test_describe_full_sum_is_attribute_centric(self):
+        relation = item_relation(10_000)
+        spec = QuerySpec(QueryShape.FULL_SUM, "item", ("i_price",))
+        descriptor = spec.describe(relation)
+        assert descriptor.is_attribute_centric
+        assert descriptor.kind is AccessKind.READ
+
+    def test_describe_point_materialize_is_record_centric(self):
+        relation = item_relation(10_000)
+        spec = QuerySpec(
+            QueryShape.POINT_MATERIALIZE, "item", relation.schema.names, positions=(5,)
+        )
+        assert spec.describe(relation).is_record_centric
+
+    def test_update_is_write(self):
+        relation = item_relation(100)
+        spec = QuerySpec(QueryShape.POINT_UPDATE, "item", ("i_price",), positions=(5,))
+        assert spec.describe(relation).kind is AccessKind.WRITE
+
+
+class TestRandomPositions:
+    def test_sorted_and_distinct(self):
+        positions = random_positions(1000, 150)
+        assert list(positions) == sorted(set(positions))
+        assert len(positions) == 150
+
+    def test_deterministic(self):
+        assert random_positions(1000, 10, seed=5) == random_positions(1000, 10, seed=5)
+
+    def test_oversample_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_positions(10, 11)
+
+
+class TestHTAPMix:
+    def test_deterministic_stream(self):
+        relation = item_relation(1000)
+        mix = HTAPMix(relation, seed=9)
+        assert mix.query_list(50) == mix.query_list(50)
+
+    def test_pure_olap(self):
+        relation = item_relation(1000)
+        mix = HTAPMix(relation, oltp_fraction=0.0)
+        assert all(q.shape is QueryShape.FULL_SUM for q in mix.queries(30))
+
+    def test_pure_oltp(self):
+        relation = item_relation(1000)
+        mix = HTAPMix(relation, oltp_fraction=1.0)
+        shapes = {q.shape for q in mix.queries(30)}
+        assert shapes <= {QueryShape.POINT_MATERIALIZE, QueryShape.POINT_UPDATE}
+
+    def test_fraction_roughly_respected(self):
+        relation = item_relation(1000)
+        mix = HTAPMix(relation, oltp_fraction=0.7, seed=3)
+        queries = mix.query_list(400)
+        oltp = sum(q.shape is not QueryShape.FULL_SUM for q in queries)
+        assert 0.6 <= oltp / 400 <= 0.8
+
+    def test_olap_attributes_numeric_by_default(self):
+        relation = item_relation(1000)
+        mix = HTAPMix(relation, oltp_fraction=0.0, seed=1)
+        for query in mix.queries(20):
+            dtype = relation.schema.attribute(query.attributes[0]).dtype
+            assert dtype.numpy_dtype().kind in ("i", "f")
+
+    def test_invalid_fractions(self):
+        relation = item_relation(10)
+        with pytest.raises(WorkloadError):
+            HTAPMix(relation, oltp_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            HTAPMix(relation, oltp_write_fraction=-0.1)
+
+
+class TestWorkloadTrace:
+    def make_event(self, rows=1, attrs=("a",), kind=AccessKind.READ):
+        from repro.execution.access import AccessDescriptor
+
+        return AccessDescriptor(kind, attrs, rows, 1000, 5)
+
+    def test_record_and_window(self):
+        trace = WorkloadTrace()
+        for _ in range(5):
+            trace.record(self.make_event())
+        assert len(trace.window()) == 5
+        assert len(trace.window(2)) == 2
+        assert trace.window(0) == ()
+
+    def test_capacity_evicts_fifo(self):
+        trace = WorkloadTrace(capacity=3)
+        for rows in range(5):
+            trace.record(self.make_event(rows=rows + 1))
+        assert len(trace) == 3
+        assert trace.total_recorded == 5
+        assert [e.row_count for e in trace] == [3, 4, 5]
+
+    def test_fractions(self):
+        trace = WorkloadTrace()
+        trace.record(self.make_event(rows=1000, attrs=("a",)))  # attribute-centric
+        trace.record(
+            self.make_event(rows=1, attrs=tuple("abcde"), kind=AccessKind.WRITE)
+        )
+        assert trace.read_fraction() == 0.5
+        assert trace.attribute_centric_fraction() == 0.5
+        assert trace.record_centric_fraction() == 0.5
+
+    def test_empty_defaults(self):
+        trace = WorkloadTrace()
+        assert trace.read_fraction() == 1.0
+        assert trace.record_centric_fraction() == 0.0
+
+    def test_clear(self):
+        trace = WorkloadTrace()
+        trace.record(self.make_event())
+        trace.clear()
+        assert len(trace) == 0 and trace.total_recorded == 0
+
+
+@given(st.integers(1, 300), st.integers(1, 50))
+@settings(max_examples=30)
+def test_trace_capacity_invariant(events, capacity):
+    from repro.execution.access import AccessDescriptor
+
+    trace = WorkloadTrace(capacity=capacity)
+    for _ in range(events):
+        trace.record(AccessDescriptor(AccessKind.READ, ("a",), 1, 10, 2))
+    assert len(trace) == min(events, capacity)
+    assert trace.total_recorded == events

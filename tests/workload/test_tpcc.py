@@ -1,0 +1,75 @@
+"""TPC-C-like generator tests: the paper's byte geometry, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.tpcc import (
+    CUSTOMER_FIELDS,
+    CUSTOMER_RECORD_BYTES,
+    ITEM_FIELDS,
+    ITEM_RECORD_BYTES,
+    customer_relation,
+    customer_schema,
+    generate_customers,
+    generate_items,
+    item_relation,
+    item_schema,
+)
+
+
+class TestPaperGeometry:
+    def test_customer_is_96_bytes_21_fields(self):
+        schema = customer_schema()
+        assert schema.record_width == CUSTOMER_RECORD_BYTES == 96
+        assert schema.arity == CUSTOMER_FIELDS == 21
+
+    def test_item_is_20_plus_8_bytes(self):
+        schema = item_schema()
+        assert schema.record_width == ITEM_RECORD_BYTES == 28
+        assert schema.arity == ITEM_FIELDS == 5
+        assert schema.attribute("i_price").width == 8
+        non_price = schema.record_width - schema.attribute("i_price").width
+        assert non_price == 20
+
+    def test_relations(self):
+        assert customer_relation(10).row_count == 10
+        assert item_relation(10).nsm_bytes == 280
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        first = generate_items(100, seed=3)
+        second = generate_items(100, seed=3)
+        for name in first:
+            assert np.array_equal(first[name], second[name])
+
+    def test_different_seeds_differ(self):
+        a = generate_items(100, seed=1)["i_price"]
+        b = generate_items(100, seed=2)["i_price"]
+        assert not np.array_equal(a, b)
+
+    def test_columns_match_schema(self):
+        columns = generate_customers(50)
+        schema = customer_schema()
+        assert set(columns) == set(schema.names)
+        for attribute in schema:
+            assert columns[attribute.name].dtype.itemsize == attribute.width
+            assert len(columns[attribute.name]) == 50
+
+    def test_ids_are_sequential(self):
+        assert list(generate_items(5)["i_id"]) == [0, 1, 2, 3, 4]
+
+    def test_prices_in_range(self):
+        prices = generate_items(1000)["i_price"]
+        assert prices.min() >= 1.0 and prices.max() < 100.0
+
+    def test_zero_rows(self):
+        columns = generate_items(0)
+        assert all(len(values) == 0 for values in columns.values())
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_items(-1)
+        with pytest.raises(WorkloadError):
+            generate_customers(-1)
