@@ -33,12 +33,24 @@ from repro.core import (
     run_survey,
     satisfies_all,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    DeviceError,
+    ReorganizationAborted,
+    ReproError,
+    TransferError,
+)
 from repro.execution import (
     MULTI_THREADED_8,
     SINGLE_THREADED,
     ExecutionContext,
     ThreadingPolicy,
+)
+from repro.faults import (
+    CircuitBreaker,
+    FallbackChain,
+    FaultInjector,
+    ResilienceReport,
+    RetryPolicy,
 )
 from repro.hardware import Platform
 from repro.layout import Fragment, Layout, LinearizationKind, Region
@@ -50,6 +62,14 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ReproError",
+    "TransferError",
+    "DeviceError",
+    "ReorganizationAborted",
+    "FaultInjector",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FallbackChain",
+    "ResilienceReport",
     "Platform",
     "ExecutionContext",
     "ThreadingPolicy",

@@ -7,6 +7,15 @@ cost, frees the old fragments and swaps the new set in.  This is the
 mechanism behind "layout adaptability: responsive" in Table 1 — an
 engine is responsive exactly when it wires this (or its own equivalent)
 to workload statistics.
+
+Re-organization is **transactional**: the new fragments are built and
+filled off to the side, and the swap happens only after the migration
+completes and validates.  An interruption mid-migration — injected via
+the platform's :class:`~repro.faults.FaultInjector` at the
+``reorg.interrupt`` site, mirroring a crash or an operator kill —
+frees every partially-built fragment, leaves the layout exactly as it
+was, charges the wasted partial copy, and re-raises
+:class:`~repro.errors.ReorganizationAborted`.
 """
 
 from __future__ import annotations
@@ -14,8 +23,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.adapt.advisor import GroupProposal, LayoutProposal
-from repro.errors import LayoutError
+from repro.errors import LayoutError, ReorganizationAborted
 from repro.execution.context import ExecutionContext
+from repro.faults.injector import SITE_REORG_INTERRUPT
 from repro.hardware.memory import MemorySpace
 from repro.layout.fragment import Fragment
 from repro.layout.layout import Layout
@@ -77,25 +87,47 @@ def reorganize_layout(
     new_fragments = build_fragments_for_proposal(
         layout, proposal.groups, space, materialize=not phantom
     )
+    injector = ctx.platform.injector if ctx is not None else None
+    counters = ctx.counters if ctx is not None else None
 
-    if phantom:
-        for fragment in new_fragments:
-            fragment.fill_phantom(relation.row_count)
-    else:
-        index_of = {
-            name: position for position, name in enumerate(relation.schema.names)
-        }
-        for row in range(relation.row_count):
-            values = layout.read_row(row)
+    try:
+        if phantom:
+            if injector is not None:
+                injector.check(SITE_REORG_INTERRUPT, counters)
             for fragment in new_fragments:
-                fragment.append_rows(
-                    [
-                        tuple(
-                            values[index_of[name]]
-                            for name in fragment.schema.names
-                        )
-                    ]
-                )
+                fragment.fill_phantom(relation.row_count)
+        else:
+            index_of = {
+                name: position for position, name in enumerate(relation.schema.names)
+            }
+            for row in range(relation.row_count):
+                if injector is not None:
+                    injector.check(SITE_REORG_INTERRUPT, counters)
+                values = layout.read_row(row)
+                for fragment in new_fragments:
+                    fragment.append_rows(
+                        [
+                            tuple(
+                                values[index_of[name]]
+                                for name in fragment.schema.names
+                            )
+                        ]
+                    )
+    except ReorganizationAborted:
+        # Roll back: the old fragments were never touched, so undoing
+        # the transaction is freeing the partial copies.  The wasted
+        # migration work still costs cycles (fault runs must be
+        # measurably slower than clean runs).
+        migrated = sum(fragment.filled for fragment in new_fragments)
+        for fragment in new_fragments:
+            fragment.free()
+        if ctx is not None and relation.row_count:
+            wasted = relation.nsm_bytes * (
+                migrated / (relation.row_count * max(len(new_fragments), 1))
+            )
+            cost = 2 * ctx.platform.memory_model.sequential(int(wasted))
+            ctx.charge(f"reorganize-aborted({relation.name})", cost)
+        raise
 
     if ctx is not None:
         payload = relation.nsm_bytes

@@ -22,6 +22,10 @@ A8 — the 2026 machine: re-run Figure 2's decisive comparisons on a
      modern platform (16 cores, DDR5, HBM device, NVLink-class link,
      pooled threads) and see which of the paper's findings are
      architectural and which were artifacts of 2016 ratios.
+A2f — fault-probability extension of A2: on a link fast enough for the
+     device to win cleanly, how much PCIe unreliability (injected
+     transfer faults, absorbed by retries and host fallbacks) does it
+     take before the CPU-only plan wins end to end?
 """
 
 from __future__ import annotations
@@ -55,6 +59,7 @@ from repro.bench.figure2 import (
 __all__ = [
     "threading_crossover_sweep",
     "pcie_crossover_sweep",
+    "fault_probability_sweep",
     "pdsm_mixed_workload_sweep",
     "gputx_bulk_size_sweep",
     "processing_model_sweep",
@@ -131,6 +136,83 @@ def pcie_crossover_sweep(
                     "host_ms": platform.seconds(host.cycles) * 1e3,
                     "device_ms": platform.seconds(device.cycles) * 1e3,
                     "device_wins": float(device.cycles < host.cycles),
+                },
+            )
+        )
+    return points
+
+
+def fault_probability_sweep(
+    probabilities: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4, 0.6),
+    row_count: int = 20_000_000,
+    bandwidth: float = 32e9,
+    queries: int = 4,
+) -> list[SweepPoint]:
+    """A2f: end-to-end sum cost vs. PCIe fault probability.
+
+    The link is fixed at a bandwidth where the device wins A2 cleanly;
+    the knob is the per-transfer injected-fault probability.  The
+    device plan runs under the production resilience stack — staging
+    transfers retried, surviving faults degraded to the host copy via a
+    :class:`~repro.faults.FallbackChain` — so every failed attempt's
+    wire time and backoff lands in the measured cycles.  Somewhere in
+    the sweep the retry overhead erases the device's advantage and the
+    CPU-only plan wins: reliability is a scheduling input, not an
+    operational footnote.
+    """
+    from repro.faults.injector import SITE_PCIE_TRANSFER, FaultInjector
+    from repro.faults.policy import FallbackChain, FallbackStep, RetryPolicy
+
+    points = []
+    for probability in probabilities:
+        platform = Platform.paper_testbed()
+        platform = dataclasses.replace(
+            platform,
+            interconnect=InterconnectModel(
+                bandwidth=bandwidth,
+                latency_s=platform.interconnect.latency_s,
+                host_frequency_hz=platform.cpu.frequency_hz,
+            ),
+        )
+        injector = FaultInjector(seed=13).arm(SITE_PCIE_TRANSFER, probability)
+        injector.install(platform)
+        relation = item_relation(row_count)
+        store = build_column_store(platform, relation)
+
+        host_ctx = ExecutionContext(platform, threading=MULTI_THREADED_8)
+        for __ in range(queries):
+            sum_column(store, "i_price", host_ctx)
+
+        device_ctx = ExecutionContext(platform)
+        device_ctx.retry = RetryPolicy(max_attempts=4, report=injector.report)
+        for __ in range(queries):
+            chain = FallbackChain(
+                [
+                    FallbackStep(
+                        "device",
+                        lambda: device_sum_column(
+                            store, "i_price", device_ctx, charge_transfer=True
+                        ),
+                    ),
+                    FallbackStep(
+                        "host", lambda: sum_column(store, "i_price", device_ctx)
+                    ),
+                ],
+                report=injector.report,
+            )
+            chain.run(device_ctx)
+
+        points.append(
+            SweepPoint(
+                knob=probability,
+                outcomes={
+                    "host_ms": platform.seconds(host_ctx.cycles) * 1e3,
+                    "device_ms": platform.seconds(device_ctx.cycles) * 1e3,
+                    "device_wins": float(device_ctx.cycles < host_ctx.cycles),
+                    "injected": float(injector.report.injected),
+                    "retried": float(injector.report.retried),
+                    "fallen_back": float(injector.report.fallen_back),
+                    "degraded_queries": float(injector.report.degraded_queries),
                 },
             )
         )

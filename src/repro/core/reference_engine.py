@@ -48,6 +48,7 @@ from repro.execution.access import AccessKind
 from repro.execution.context import ExecutionContext
 from repro.execution.device import device_sum_column, is_device_resident
 from repro.execution.operators import sum_column
+from repro.faults.policy import FallbackChain, FallbackStep
 from repro.layout.fragment import Fragment
 from repro.layout.layout import Layout
 from repro.layout.linearization import LinearizationKind
@@ -330,28 +331,41 @@ class ReferenceEngine(StorageEngine):
                 break
         if device_fragment is None:
             return sum_column(unified, attribute, ctx)
-        view = Layout(
-            f"{name}/device-view",
-            managed.relation,
-            [device_fragment],
-            allow_overlap=True, validate=False,
-        )
-        total = device_sum_column(view, attribute, ctx)
-        # Patch in the delta rows beyond the device replica's range.
-        delta_view_fragments = [
-            fragment
-            for fragment in unified.fragments
-            if fragment.region.rows.start >= device_fragment.region.rows.stop
-            and attribute in fragment.region.attributes
-        ]
-        if delta_view_fragments:
-            delta_view = Layout(
-                f"{name}/delta-view",
+
+        def device_path() -> float:
+            view = Layout(
+                f"{name}/device-view",
                 managed.relation,
-                delta_view_fragments,
+                [device_fragment],
                 allow_overlap=True, validate=False,
             )
-            total += sum_column(delta_view, attribute, ctx)
+            total = device_sum_column(view, attribute, ctx)
+            # Patch in the delta rows beyond the device replica's range.
+            delta_view_fragments = [
+                fragment
+                for fragment in unified.fragments
+                if fragment.region.rows.start >= device_fragment.region.rows.stop
+                and attribute in fragment.region.attributes
+            ]
+            if delta_view_fragments:
+                delta_view = Layout(
+                    f"{name}/delta-view",
+                    managed.relation,
+                    delta_view_fragments,
+                    allow_overlap=True, validate=False,
+                )
+                total += sum_column(delta_view, attribute, ctx)
+            return total
+
+        injector = self.platform.injector
+        chain = FallbackChain(
+            [
+                FallbackStep("device", device_path),
+                FallbackStep("host", lambda: sum_column(unified, attribute, ctx)),
+            ],
+            report=injector.report if injector is not None else None,
+        )
+        total, _served_by = chain.run(ctx)
         return total
 
     # ------------------------------------------------------------------

@@ -11,9 +11,11 @@ owns the format.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.distributed.cluster import Cluster, ClusterNode
 from repro.errors import DistributedError
+from repro.faults.injector import SITE_DFS_READ, SITE_NODE_CRASH, FaultInjector
 from repro.hardware.event import Cycles, PerfCounters
 from repro.hardware.memory import Allocation
 
@@ -58,6 +60,7 @@ class BlockStore:
         cluster: Cluster,
         replication: int = 3,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        injector: FaultInjector | None = None,
     ) -> None:
         if block_size < 1:
             raise DistributedError(f"block_size must be >= 1, got {block_size}")
@@ -68,6 +71,11 @@ class BlockStore:
         self.cluster = cluster
         self.replication = replication
         self.block_size = block_size
+        #: Optional shared fault injector: arms the ``dfs.block-read``
+        #: site on :meth:`read` and the ``cluster.node-crash`` site on
+        #: :meth:`inject_node_crash`.  A plain attribute so it can be
+        #: (un)installed at any point in a store's life.
+        self.injector = injector
         self._files: dict[str, DFSFile] = {}
 
     # ------------------------------------------------------------------
@@ -104,6 +112,12 @@ class BlockStore:
 
         Blocks with a local replica cost nothing extra; remote blocks
         cost one network transfer each.  Returns (payload, cycles).
+
+        When a fault injector is armed at ``dfs.block-read``, the
+        nearest replica of a block may fail to read: with another
+        replica available the store degrades to it (one extra network
+        transfer, recorded as a recovery), otherwise the injected
+        :class:`~repro.errors.DistributedError` surfaces.
         """
         dfs_file = self.file(path)
         payload = bytearray()
@@ -112,6 +126,22 @@ class BlockStore:
             payload.extend(block.payload)
             if reader.name not in block.replicas:
                 cost += self.cluster.network.transfer_cost(block.size, counters)
+            if self.injector is not None and self.injector.fires(
+                SITE_DFS_READ, counters
+            ):
+                if len(block.replicas) <= 1:
+                    error = DistributedError(
+                        f"injected fault at {SITE_DFS_READ!r}: block "
+                        f"{path!r}#{block.index} unreadable and no other "
+                        "replica is left"
+                    )
+                    error.injected = True
+                    raise error
+                # Degrade to another replica — always a remote re-read.
+                cost += self.cluster.network.transfer_cost(block.size, counters)
+                self.injector.report.record_recovered()
+                if counters is not None:
+                    counters.fault_recoveries += 1
         return bytes(payload), cost
 
     def delete(self, path: str) -> None:
@@ -157,6 +187,42 @@ class BlockStore:
                     node.disk.free(allocation)
                     lost += 1
         return lost
+
+    def inject_node_crash(
+        self,
+        counters: PerfCounters | None = None,
+        exclude: Sequence[str] = (),
+    ) -> str | None:
+        """Maybe crash one node (injector-driven) and repair the store.
+
+        Routes the ``cluster.node-crash`` fault site through the shared
+        injector: when it fires, a deterministic victim outside
+        *exclude* (typically the coordinator) loses every replica it
+        holds, and the store immediately re-replicates — ES2's
+        survey-highlighted recovery mechanism — charging one network
+        transfer per repaired replica.  Returns the victim's name, or
+        ``None`` when no fault fired (or no victim was eligible).
+        """
+        if self.injector is None:
+            return None
+        candidates = [
+            node.name for node in self.cluster.nodes if node.name not in exclude
+        ]
+        if not candidates or not self.injector.fires(SITE_NODE_CRASH, counters):
+            return None
+        victim = self.injector.choice(candidates)
+        self.fail_node(victim)
+        try:
+            self.re_replicate(counters)
+        except DistributedError as error:
+            # The crash was injected; mark the failed repair so the
+            # caller's accounting attributes it correctly.
+            error.injected = True
+            raise
+        self.injector.report.record_recovered()
+        if counters is not None:
+            counters.fault_recoveries += 1
+        return victim
 
     def re_replicate(self, counters: PerfCounters | None = None) -> int:
         """Restore the replication target for every under-replicated block.

@@ -35,13 +35,19 @@ from repro.engines.base import (
     WorkloadSupport,
     fill_fragment,
 )
-from repro.errors import CapacityError, EngineError
+from repro.errors import EngineError
 from repro.execution.access import AccessKind
 from repro.execution.context import ExecutionContext
 from repro.execution.device import (
     device_count_where,
     device_sum_column,
     is_device_resident,
+)
+from repro.faults.policy import (
+    TRANSIENT_DEVICE_ERRORS,
+    CircuitBreaker,
+    FallbackChain,
+    FallbackStep,
 )
 from repro.execution.operators import materialize_rows, sum_at_positions, sum_column
 from repro.hardware.platform import Platform
@@ -127,6 +133,28 @@ class CoGaDBEngine(StorageEngine):
     def __init__(self, platform) -> None:
         super().__init__(platform)
         self.scheduler = HypeScheduler(platform)
+        #: Stops routing to a persistently-failing device: after 3
+        #: consecutive GPU-path failures the next 8 GPU choices degrade
+        #: straight to the host without paying the failed attempt.
+        self.gpu_breaker = CircuitBreaker(failure_threshold=3, cooldown_calls=8)
+
+    def _device_chain(self, device_operation, host_operation) -> FallbackChain:
+        """The engine's degradation ladder: GPU, then the host columns.
+
+        This is Bress et al.'s robustness fallback expressed as shared
+        machinery — transfer faults, device faults and capacity
+        exhaustion all take the same path, and injected faults are
+        attributed in the platform injector's resilience report.
+        """
+        injector = self.platform.injector
+        return FallbackChain(
+            [
+                FallbackStep("gpu", device_operation, breaker=self.gpu_breaker),
+                FallbackStep("cpu", host_operation),
+            ],
+            catch=TRANSIENT_DEVICE_ERRORS,
+            report=injector.report if injector is not None else None,
+        )
 
     def capabilities(self) -> EngineCapabilities:
         return EngineCapabilities(
@@ -237,6 +265,7 @@ class CoGaDBEngine(StorageEngine):
             count, width, on_device
         )
         choice = self.scheduler.choose_sum_device(count, width, on_device)
+        host_layout = managed.layouts[1]
         if choice == "gpu":
             # A single-fragment view: the mixed layout holds both the
             # device replica and the host fallback for placed columns,
@@ -244,21 +273,26 @@ class CoGaDBEngine(StorageEngine):
             view = Layout(
                 f"{name}/gpu-view", managed.relation, [fragment], allow_overlap=True, validate=False
             )
-            try:
-                result = device_sum_column(view, attribute, ctx)
-            except CapacityError:
+            chain = self._device_chain(
+                lambda: device_sum_column(view, attribute, ctx),
+                lambda: sum_column(host_layout, attribute, ctx),
+            )
+            result, served_by = chain.run(ctx)
+            if served_by == "gpu":
+                self.scheduler.observe(
+                    "gpu", gpu_prediction, ctx.counters.cycles - before
+                )
+            else:
                 # Robustness fallback (Bress et al. 2016): the device
-                # cannot even stage the operator's input — run on the
-                # host and let HyPE learn the episode.
-                self.scheduler.decisions[-1] = "cpu-fallback"
-                result = sum_column(managed.layouts[1], attribute, ctx)
+                # path failed or was circuit-broken.  Record the
+                # fallback as its own decision event — never rewrite
+                # history — so HyPE trains on what was actually
+                # attempted, and learn the host episode.
+                self.scheduler.decisions.append("cpu-fallback")
                 self.scheduler.observe(
                     "cpu", cpu_prediction, ctx.counters.cycles - before
                 )
-                return result
-            self.scheduler.observe("gpu", gpu_prediction, ctx.counters.cycles - before)
         else:
-            host_layout = managed.layouts[1]
             result = sum_column(host_layout, attribute, ctx)
             self.scheduler.observe("cpu", cpu_prediction, ctx.counters.cycles - before)
         return result
@@ -281,15 +315,23 @@ class CoGaDBEngine(StorageEngine):
         width = fragment.schema.attribute(attribute).width
         count = managed.relation.row_count
         choice = self.scheduler.choose_sum_device(count, width, on_device)
+        from repro.execution.bulk import bulk_count_where
+
+        host_layout = managed.layouts[1]
         if choice == "gpu":
             view = Layout(
                 f"{name}/gpu-view", managed.relation, [fragment],
                 allow_overlap=True, validate=False,
             )
-            return device_count_where(view, attribute, predicate, ctx)
-        from repro.execution.bulk import bulk_count_where
-
-        return bulk_count_where(managed.layouts[1], attribute, predicate, ctx)
+            chain = self._device_chain(
+                lambda: device_count_where(view, attribute, predicate, ctx),
+                lambda: bulk_count_where(host_layout, attribute, predicate, ctx),
+            )
+            result, served_by = chain.run(ctx)
+            if served_by != "gpu":
+                self.scheduler.decisions.append("cpu-fallback")
+            return result
+        return bulk_count_where(host_layout, attribute, predicate, ctx)
 
     # ------------------------------------------------------------------
     # Record-centric paths stay on the host copy (the mixed layout's

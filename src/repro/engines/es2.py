@@ -104,7 +104,9 @@ class ES2Engine(StorageEngine):
             raise EngineError(f"{self.name}: partition_rows must be >= 1")
         self.partition_rows = partition_rows
         self.dfs = BlockStore(
-            self.cluster, replication=min(dfs_replication, len(self.cluster))
+            self.cluster,
+            replication=min(dfs_replication, len(self.cluster)),
+            injector=platform.injector,
         )
         self.affinity_threshold = affinity_threshold
         self._groups: dict[str, list[tuple[str, ...]]] = {}
@@ -271,8 +273,26 @@ class ES2Engine(StorageEngine):
                 ctx.note("es2-network", cost)
 
     def sum(self, name, attribute, ctx):
+        """Distributed aggregation, surviving injected node crashes.
+
+        Long-running analytic scans are where node loss bites, so the
+        shared fault injector's ``cluster.node-crash`` site is checked
+        here: a crashed node loses its DFS replicas and the store
+        re-replicates before the scan proceeds (the in-memory
+        partitions keep serving — ES2's replica layout covers reads
+        while the DFS backbone heals).
+        """
         managed = self.managed(name)
         self.record_access(name, AccessKind.READ, (attribute,), managed.relation.row_count)
+        # Keep the store's injector in sync: the injector may have been
+        # installed on the platform after this engine was built.
+        self.dfs.injector = self.platform.injector
+        before = ctx.counters.cycles
+        victim = self.dfs.inject_node_crash(
+            ctx.counters, exclude=(self.coordinator.name,)
+        )
+        if victim is not None:
+            ctx.note("es2-re-replication", ctx.counters.cycles - before)
         layout = managed.primary_layout
         result = sum_column(layout, attribute, ctx)
         # Each remote partition ships one partial aggregate back.

@@ -69,6 +69,39 @@ class ExecutionError(ReproError):
     """Query execution failed (bad plan, operator misuse)."""
 
 
+class TransferError(ExecutionError):
+    """A host<->device transfer failed mid-flight.
+
+    Raised by the interconnect model when a PCIe fault is injected (or,
+    in a real system, on a DMA/CRC error).  The cycles of the failed
+    attempt are already charged when this is raised — a broken transfer
+    still burns wire time before it is detected.  Retryable: resilience
+    policies (:mod:`repro.faults`) re-issue the copy or degrade to a
+    host-only path.
+    """
+
+
+class DeviceError(ExecutionError):
+    """A device-side operation failed (allocation or kernel launch).
+
+    Covers the two device hazards the GPU-database literature calls
+    out: device memory allocation failure (OOM beyond the capacity
+    model's reach) and kernel launch failure.  Like
+    :class:`TransferError` it is retryable and is the trigger for
+    GPU -> CPU degradation chains.
+    """
+
+
+class ReorganizationAborted(ExecutionError):
+    """An online layout re-organization was interrupted mid-flight.
+
+    The re-organizer guarantees roll-back: when this escapes, the
+    engine's layout is the untouched pre-reorganization layout and every
+    partially-built fragment has been freed.  Callers may simply retry
+    the re-organization later.
+    """
+
+
 class PlacementError(ReproError):
     """A data placement decision could not be applied."""
 

@@ -10,10 +10,14 @@ context".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.hardware.event import CostBreakdown, Cycles, PerfCounters
 from repro.hardware.platform import Platform
 from repro.execution.threading import SINGLE_THREADED, ThreadingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.policy import RetryPolicy
 
 __all__ = ["ExecutionContext"]
 
@@ -35,6 +39,10 @@ class ExecutionContext:
     call_overhead_cycles:
         Cost of one operator-interface call (next()/function call); the
         Volcano model pays it per tuple, the bulk model per vector.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy` applied by
+        fault-aware operators (device staging transfers); ``None``
+        means transient failures propagate on first occurrence.
     """
 
     platform: Platform
@@ -42,6 +50,7 @@ class ExecutionContext:
     counters: PerfCounters = field(default_factory=PerfCounters)
     breakdown: CostBreakdown = field(default_factory=CostBreakdown)
     call_overhead_cycles: Cycles = 20.0
+    retry: "RetryPolicy | None" = None
 
     @property
     def cycles(self) -> Cycles:
@@ -85,4 +94,5 @@ class ExecutionContext:
             platform=self.platform,
             threading=self.threading,
             call_overhead_cycles=self.call_overhead_cycles,
+            retry=self.retry,
         )

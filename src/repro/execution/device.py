@@ -5,6 +5,12 @@ parallel reduction (>= 1024 blocks x 512 threads, final pass 1 block x
 1024 threads) over a column, with the host<->device transfer charged —
 or not — depending on whether the column is already device-resident
 (Figure 2, panels 3 vs. 4).
+
+Resilience: staging transfers are retried under the context's
+:class:`~repro.faults.RetryPolicy`, injected device-OOM is surfaced as
+:class:`~repro.errors.DeviceError`, and any fault that survives the
+retries propagates so the calling engine's fallback chain can degrade
+to the host path (recording which path actually served the query).
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ import math
 
 from repro.errors import CapacityError, ExecutionError, PlacementError
 from repro.execution.context import ExecutionContext
+from repro.faults.injector import SITE_DEVICE_ALLOC
+from repro.hardware.event import Cycles
 from repro.hardware.memory import MemoryKind, MemorySpace
 from repro.layout.fragment import Fragment
 from repro.layout.layout import Layout
@@ -25,6 +33,25 @@ __all__ = [
     "transfer_fragment",
     "is_device_resident",
 ]
+
+
+def _staging_transfer(
+    attribute: str, staged_bytes: int, ctx: ExecutionContext
+) -> Cycles:
+    """Charge the host->device staging copy, retrying injected faults.
+
+    The retry policy comes from the context; without one, a
+    :class:`~repro.errors.TransferError` propagates on first failure
+    (callers degrade to the host path via their fallback chains).
+    Every attempt — failed ones included — charges its wire time, so
+    resilience is visible in the measured cycle count.
+    """
+    def attempt() -> Cycles:
+        return ctx.platform.interconnect.transfer_cost(staged_bytes, ctx.counters)
+
+    if ctx.retry is not None:
+        return ctx.retry.run(f"pcie-transfer({attribute})", attempt, ctx)
+    return attempt()
 
 
 def is_device_resident(fragment: Fragment) -> bool:
@@ -93,6 +120,10 @@ def device_sum_column(
     chunks = 1
     if staged_bytes and charge_transfer:
         device = ctx.platform.device_memory
+        if ctx.platform.injector is not None:
+            # Injected device OOM: the allocation request itself fails
+            # (beyond what the capacity model can predict).
+            ctx.platform.injector.check(SITE_DEVICE_ALLOC, ctx.counters)
         buffer_bytes = min(staged_bytes, device.available)
         if buffer_bytes < width:
             raise CapacityError(
@@ -102,9 +133,7 @@ def device_sum_column(
         bounce = device.allocate(buffer_bytes, f"stage({attribute})")
         try:
             chunks = math.ceil(staged_bytes / buffer_bytes)
-            cost = ctx.platform.interconnect.transfer_cost(
-                staged_bytes, ctx.counters
-            )
+            cost = _staging_transfer(attribute, staged_bytes, ctx)
             # Each chunk is its own DMA setup.
             cost += (chunks - 1) * ctx.platform.interconnect.transfer_cost(0)
             ctx.note("pcie-transfer", cost)
@@ -166,7 +195,9 @@ def device_count_where(
         if not is_device_resident(fragment):
             staged_bytes += fragment.filled * width
     if staged_bytes and charge_transfer:
-        cost = ctx.platform.interconnect.transfer_cost(staged_bytes, ctx.counters)
+        if ctx.platform.injector is not None:
+            ctx.platform.injector.check(SITE_DEVICE_ALLOC, ctx.counters)
+        cost = _staging_transfer(attribute, staged_bytes, ctx)
         ctx.note("pcie-transfer", cost)
     if count:
         kernel_seconds = ctx.platform.gpu.streaming_kernel_seconds(

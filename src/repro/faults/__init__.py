@@ -1,0 +1,67 @@
+"""Unified fault injection and resilience for the simulated platform.
+
+The paper's hybrid CPU/GPU storage engines are expected to keep serving
+mixed workloads when the environment misbehaves — CoGaDB falls back to
+the host under device memory pressure, ES2 re-replicates after node
+loss.  This package turns those one-off mechanisms into shared,
+observable, testable machinery:
+
+* :mod:`repro.faults.injector` — a deterministic seeded
+  :class:`FaultInjector` with a registry of fault sites (PCIe transfer
+  error, device allocation/kernel failure, node crash, DFS read error,
+  re-organization interruption);
+* :mod:`repro.faults.policy` — composable :class:`RetryPolicy`
+  (exponential backoff charged in simulated cycles),
+  :class:`CircuitBreaker`, and :class:`FallbackChain` (GPU -> CPU
+  degradation ladders);
+* :mod:`repro.faults.report` — the :class:`ResilienceReport` that
+  accounts for every injected fault's outcome;
+* :mod:`repro.faults.chaos` — the harness that runs HTAP query streams
+  under seeded fault schedules and proves answers stay correct.
+
+See ``docs/RESILIENCE.md`` for the fault-site catalogue and the
+degradation chains each engine wires.
+"""
+
+from repro.faults.chaos import ChaosRunResult, run_query_stream
+from repro.faults.injector import (
+    FAULT_SITES,
+    SITE_DEVICE_ALLOC,
+    SITE_DFS_READ,
+    SITE_KERNEL_LAUNCH,
+    SITE_NODE_CRASH,
+    SITE_PCIE_TRANSFER,
+    SITE_REORG_INTERRUPT,
+    FaultInjector,
+    FaultSpec,
+    register_fault_site,
+)
+from repro.faults.policy import (
+    TRANSIENT_DEVICE_ERRORS,
+    CircuitBreaker,
+    FallbackChain,
+    FallbackStep,
+    RetryPolicy,
+)
+from repro.faults.report import ResilienceReport
+
+__all__ = [
+    "FAULT_SITES",
+    "SITE_PCIE_TRANSFER",
+    "SITE_DEVICE_ALLOC",
+    "SITE_KERNEL_LAUNCH",
+    "SITE_NODE_CRASH",
+    "SITE_DFS_READ",
+    "SITE_REORG_INTERRUPT",
+    "register_fault_site",
+    "FaultSpec",
+    "FaultInjector",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FallbackStep",
+    "FallbackChain",
+    "TRANSIENT_DEVICE_ERRORS",
+    "ResilienceReport",
+    "ChaosRunResult",
+    "run_query_stream",
+]

@@ -1,0 +1,120 @@
+"""Resilience accounting: what happened to every injected fault.
+
+A run's :class:`ResilienceReport` is the observability half of the
+fault-injection subsystem.  Every injected fault must end in exactly
+one of four outcomes —
+
+* **retried**: a retry policy absorbed it and a later attempt served;
+* **fallen back**: a degradation chain absorbed it and a cheaper/safer
+  path (e.g. GPU -> CPU) served instead;
+* **recovered**: the component repaired the damage in place (a DFS
+  block re-read from another replica, a crashed node re-replicated);
+* **surfaced**: it escaped to the caller as an exception.
+
+:meth:`ResilienceReport.unaccounted` is therefore zero after a healthy
+chaos run — the invariant the chaos harness asserts.  The report also
+counts degraded-path queries (queries not served by their preferred
+path) so bounded-degradation claims are checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ResilienceReport"]
+
+
+@dataclass
+class ResilienceReport:
+    """Mutable tally of fault injections and their outcomes."""
+
+    injected_by_site: dict[str, int] = field(default_factory=dict)
+    retried: int = 0
+    fallen_back: int = 0
+    recovered: int = 0
+    surfaced: int = 0
+    retry_attempts: int = 0
+    backoff_cycles: float = 0.0
+    degraded_queries: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by the injector and the policies)
+    # ------------------------------------------------------------------
+    def record_injected(self, site: str) -> None:
+        """Tally one fault fired at *site*."""
+        self.injected_by_site[site] = self.injected_by_site.get(site, 0) + 1
+
+    def record_retried(self, count: int = 1) -> None:
+        """Tally *count* injected faults absorbed by retrying."""
+        self.retried += count
+
+    def record_fallback(self, count: int = 1) -> None:
+        """Tally *count* injected faults absorbed by a degradation chain."""
+        self.fallen_back += count
+
+    def record_recovered(self, count: int = 1) -> None:
+        """Tally *count* injected faults repaired in place."""
+        self.recovered += count
+
+    def record_surfaced(self, count: int = 1) -> None:
+        """Tally *count* injected faults that escaped to the caller."""
+        self.surfaced += count
+
+    def record_degraded_query(self) -> None:
+        """Tally one query served by a non-preferred path."""
+        self.degraded_queries += 1
+
+    # ------------------------------------------------------------------
+    # Invariants & rendering
+    # ------------------------------------------------------------------
+    @property
+    def injected(self) -> int:
+        """Total faults injected across all sites."""
+        return sum(self.injected_by_site.values())
+
+    @property
+    def handled(self) -> int:
+        """Faults with a recorded outcome."""
+        return self.retried + self.fallen_back + self.recovered + self.surfaced
+
+    @property
+    def unaccounted(self) -> int:
+        """Injected faults with no recorded outcome (0 after a clean run)."""
+        return self.injected - self.handled
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy of every counter (stable key order)."""
+        out: dict[str, float] = {
+            f"injected[{site}]": count
+            for site, count in sorted(self.injected_by_site.items())
+        }
+        out.update(
+            injected=self.injected,
+            retried=self.retried,
+            fallen_back=self.fallen_back,
+            recovered=self.recovered,
+            surfaced=self.surfaced,
+            retry_attempts=self.retry_attempts,
+            backoff_cycles=self.backoff_cycles,
+            degraded_queries=self.degraded_queries,
+        )
+        return out
+
+    def render(self) -> str:
+        """A human-readable resilience summary (for chaos-run logs)."""
+        lines = ["resilience report", "-----------------"]
+        if self.injected_by_site:
+            for site, count in sorted(self.injected_by_site.items()):
+                lines.append(f"  injected @ {site:<18s} {count:6d}")
+        else:
+            lines.append("  injected             (none)")
+        lines.append(f"  total injected       {self.injected:6d}")
+        lines.append(f"  absorbed by retry    {self.retried:6d}")
+        lines.append(f"  absorbed by fallback {self.fallen_back:6d}")
+        lines.append(f"  recovered in place   {self.recovered:6d}")
+        lines.append(f"  surfaced to caller   {self.surfaced:6d}")
+        lines.append(f"  unaccounted          {self.unaccounted:6d}")
+        lines.append(f"  retry attempts       {self.retry_attempts:6d}")
+        lines.append(f"  backoff cycles       {self.backoff_cycles:14.1f}")
+        lines.append(f"  degraded queries     {self.degraded_queries:6d}")
+        return "\n".join(lines)

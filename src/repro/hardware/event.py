@@ -42,6 +42,11 @@ class PerfCounters:
     threads_spawned: int = 0
     kernel_launches: int = 0
     device_cycles: Cycles = 0.0
+    faults_injected: int = 0
+    fault_retries: int = 0
+    fault_fallbacks: int = 0
+    fault_recoveries: int = 0
+    degraded_queries: int = 0
 
     def merge(self, other: "PerfCounters") -> "PerfCounters":
         """Add *other*'s counts into ``self`` and return ``self``."""

@@ -15,12 +15,21 @@ so they compose with the CPU and PCIe models on one timeline.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ExecutionError
 from repro.hardware.event import Cycles, PerfCounters
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+
 __all__ = ["GPUModel", "KernelLaunch"]
+
+#: Fault-site name checked on every accounted kernel (a literal so the
+#: hardware layer never imports the faults package at runtime; must
+#: match ``repro.faults.injector.SITE_KERNEL_LAUNCH``).
+_SITE_KERNEL_LAUNCH = "device.kernel"
 
 
 @dataclass(frozen=True)
@@ -62,6 +71,12 @@ class GPUModel:
         Hardware limit (1024 on the paper's device).
     host_frequency_hz:
         Host clock used to convert device time into host cycles.
+    injector:
+        Optional fault injector (installed by
+        :meth:`repro.faults.FaultInjector.install`); when armed, an
+        accounted kernel may die with
+        :class:`~repro.errors.DeviceError` after its cycles are
+        charged — a crashed launch still occupied the device.
     """
 
     sms: int = 5
@@ -71,6 +86,7 @@ class GPUModel:
     launch_latency_s: float = 5.0e-6
     max_threads_per_block: int = 1024
     host_frequency_hz: float = 2.6e9
+    injector: "FaultInjector | None" = field(default=None, compare=False)
 
     @property
     def total_cores(self) -> int:
@@ -142,4 +158,8 @@ class GPUModel:
             counters.device_cycles += total_seconds * self.clock_hz
             counters.kernel_launches += 2
             counters.bytes_read += count * element_width
+            # Prediction calls (no counters) must stay side-effect-free,
+            # so injection only applies to accounted launches.
+            if self.injector is not None:
+                self.injector.check(_SITE_KERNEL_LAUNCH, counters)
         return cost

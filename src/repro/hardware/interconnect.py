@@ -8,12 +8,21 @@ which platform wins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ExecutionError
 from repro.hardware.event import Cycles, PerfCounters
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+
 __all__ = ["InterconnectModel"]
+
+#: Fault-site name checked on every accounted transfer (kept as a
+#: literal so the hardware layer never imports the faults package at
+#: runtime; must match ``repro.faults.injector.SITE_PCIE_TRANSFER``).
+_SITE_PCIE_TRANSFER = "pcie.transfer"
 
 
 @dataclass(frozen=True)
@@ -30,11 +39,18 @@ class InterconnectModel:
         Per-transfer setup latency in seconds (driver + DMA setup).
     host_frequency_hz:
         Host clock used to express costs in host cycles.
+    injector:
+        Optional fault injector (installed by
+        :meth:`repro.faults.FaultInjector.install`); when armed, an
+        accounted transfer may fail with
+        :class:`~repro.errors.TransferError` *after* its cycles are
+        charged — a broken transfer still burns wire time.
     """
 
     bandwidth: float = 6.0e9
     latency_s: float = 10.0e-6
     host_frequency_hz: float = 2.6e9
+    injector: "FaultInjector | None" = field(default=None, compare=False)
 
     def transfer_seconds(self, nbytes: int) -> float:
         """Wall time of moving *nbytes* across the link once."""
@@ -45,9 +61,17 @@ class InterconnectModel:
         return self.latency_s + nbytes / self.bandwidth
 
     def transfer_cost(self, nbytes: int, counters: PerfCounters | None = None) -> Cycles:
-        """Host-cycle cost of one host->device (or device->host) copy."""
+        """Host-cycle cost of one host->device (or device->host) copy.
+
+        Fault injection only applies to *accounted* transfers
+        (``counters`` given, ``nbytes > 0``): cost-model *predictions*
+        (HyPE, the placement advisor) call this without counters and
+        must stay side-effect-free.
+        """
         cost = self.transfer_seconds(nbytes) * self.host_frequency_hz
         if counters is not None and nbytes > 0:
             counters.cycles += cost
             counters.bytes_transferred += nbytes
+            if self.injector is not None:
+                self.injector.check(_SITE_PCIE_TRANSFER, counters)
         return cost

@@ -9,6 +9,7 @@ paper's footnote 4: an i7-6700HQ host (4 cores / 8 threads @ 2.6 GHz,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.hardware.cache import AnalyticMemoryModel, CacheGeometry, CacheHierarchy
 from repro.hardware.cpu import CPUModel
@@ -17,6 +18,9 @@ from repro.hardware.event import Cycles
 from repro.hardware.gpu import GPUModel
 from repro.hardware.interconnect import InterconnectModel
 from repro.hardware.memory import MemoryKind, MemorySpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["Platform"]
 
@@ -49,6 +53,11 @@ class Platform:
     disk: MemorySpace = field(
         default_factory=lambda: MemorySpace("disk", MemoryKind.DISK, 512 * _GiB)
     )
+    #: The platform-wide fault injector, set by
+    #: :meth:`repro.faults.FaultInjector.install`; ``None`` on healthy
+    #: machines.  Engines and the re-organizer consult it for their
+    #: component-level fault sites (node crash, reorg interruption).
+    injector: "FaultInjector | None" = None
 
     @classmethod
     def paper_testbed(

@@ -1,0 +1,1 @@
+"""Fault-injection and resilience tests (the chaos suite)."""

@@ -1,0 +1,75 @@
+"""Determinism: the chaos subsystem is a pure function of its seeds.
+
+Two runs with the same (engine, workload, fault seed) must agree on
+every result, every performance counter, and every resilience counter —
+byte for byte once serialized.  This is what makes fault schedules
+debuggable and chaos failures reproducible.
+"""
+
+import json
+
+from repro.faults import (
+    SITE_DEVICE_ALLOC,
+    SITE_KERNEL_LAUNCH,
+    SITE_PCIE_TRANSFER,
+    FaultInjector,
+)
+
+from tests.faults.test_chaos_htap import build_engine, htap_queries, run_faulted
+
+
+def chaos_run(seed: int):
+    injector = (
+        FaultInjector(seed=seed)
+        .arm(SITE_PCIE_TRANSFER, 0.15)
+        .arm(SITE_DEVICE_ALLOC, 0.05)
+        .arm(SITE_KERNEL_LAUNCH, 0.05)
+    )
+    result, __ = run_faulted("cogadb", htap_queries(), injector)
+    return result
+
+
+class TestSeedDeterminism:
+    def test_same_seed_same_results(self):
+        assert chaos_run(seed=21).results == chaos_run(seed=21).results
+
+    def test_same_seed_byte_identical_counters(self):
+        first = chaos_run(seed=21)
+        second = chaos_run(seed=21)
+        first_bytes = json.dumps(
+            {"counters": first.counters, "resilience": first.resilience},
+            sort_keys=True,
+        ).encode()
+        second_bytes = json.dumps(
+            {"counters": second.counters, "resilience": second.resilience},
+            sort_keys=True,
+        ).encode()
+        assert first_bytes == second_bytes
+        assert first.cycles == second.cycles
+
+    def test_different_seed_different_fault_schedule(self):
+        """Distinct seeds must not replay the same fault sequence."""
+        schedules = set()
+        for seed in (1, 2, 3, 4, 5):
+            run = chaos_run(seed)
+            schedules.add(
+                tuple(sorted((k, v) for k, v in run.resilience.items()))
+            )
+        assert len(schedules) > 1
+
+    def test_fault_free_runs_are_deterministic_too(self):
+        from tests.faults.test_chaos_htap import run_fault_free
+
+        queries = htap_queries()
+        first = run_fault_free("reference", queries)
+        second = run_fault_free("reference", queries)
+        assert first.results == second.results
+        assert first.counters == second.counters
+        assert first.cycles == second.cycles
+
+    def test_engine_state_is_rebuilt_not_shared(self):
+        """build_engine returns fresh platforms (no cross-run bleed)."""
+        engine_one, platform_one = build_engine("cogadb")
+        engine_two, platform_two = build_engine("cogadb")
+        assert platform_one is not platform_two
+        assert engine_one is not engine_two
