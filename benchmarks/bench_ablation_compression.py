@@ -2,15 +2,20 @@
 
 from conftest import record_artifact
 
-from repro.bench.ablations import compression_sweep
+from repro.perf.sweeper import run_sweep
 from repro.core.report import render_table
 from repro.workload.tpcc import item_schema
 
 
 def test_benchmark_ablation_compression(benchmark):
-    points = benchmark.pedantic(
-        compression_sweep, kwargs={"row_count": 500_000}, rounds=1, iterations=1
+    result = benchmark.pedantic(
+        run_sweep,
+        args=("compression",),
+        kwargs={"overrides": {"row_count": 500_000}},
+        rounds=1,
+        iterations=1,
     )
+    points = list(result.points)
     names = item_schema().names
     by_name = dict(zip(names, points))
     # Codec selection must follow the data's shape: FOR on clustered

@@ -8,12 +8,15 @@ to the CPU-only plan.
 
 from conftest import record_artifact
 
-from repro.bench.ablations import fault_probability_sweep
+from repro.perf.sweeper import run_sweep
 from repro.core.report import render_table
 
 
 def test_benchmark_ablation_faults(benchmark):
-    points = benchmark.pedantic(fault_probability_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_sweep, args=("fault_probability",), rounds=1, iterations=1
+    )
+    points = list(result.points)
     # A reliable link: the device wins, nothing injected, nothing retried.
     assert points[0].knob == 0.0
     assert points[0].outcomes["device_wins"] == 1.0

@@ -2,12 +2,15 @@
 
 from conftest import record_artifact
 
-from repro.bench.ablations import gputx_bulk_size_sweep
+from repro.perf.sweeper import run_sweep
 from repro.core.report import render_table
 
 
 def test_benchmark_ablation_gputx_bulk(benchmark):
-    points = benchmark.pedantic(gputx_bulk_size_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_sweep, args=("gputx_bulk_size",), rounds=1, iterations=1
+    )
+    points = list(result.points)
     costs = [point.outcomes["per_tx_us"] for point in points]
     assert costs == sorted(costs, reverse=True)  # monotone amortization
     assert costs[0] > 100 * costs[-1]

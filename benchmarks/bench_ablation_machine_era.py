@@ -11,12 +11,15 @@ advantage grows with HBM).
 
 from conftest import record_artifact
 
-from repro.bench.ablations import machine_era_sweep
+from repro.perf.sweeper import run_sweep
 from repro.core.report import render_table
 
 
 def test_benchmark_machine_era(benchmark):
-    points = benchmark.pedantic(machine_era_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_sweep, args=("machine_era",), rounds=1, iterations=1
+    )
+    points = list(result.points)
     era_2017, era_2026 = points
     for point in points:
         # (i): multi-threading still loses a 150-record query.

@@ -2,12 +2,15 @@
 
 from conftest import record_artifact
 
-from repro.bench.ablations import pcie_crossover_sweep
+from repro.perf.sweeper import run_sweep
 from repro.core.report import render_table
 
 
 def test_benchmark_ablation_pcie(benchmark):
-    points = benchmark.pedantic(pcie_crossover_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_sweep, args=("pcie_crossover",), rounds=1, iterations=1
+    )
+    points = list(result.points)
     assert points[0].outcomes["device_wins"] == 0.0  # paper-era link loses
     assert points[-1].outcomes["device_wins"] == 1.0  # fast links flip it
     rows = [

@@ -2,12 +2,15 @@
 
 from conftest import record_artifact
 
-from repro.bench.ablations import pdsm_mixed_workload_sweep
+from repro.perf.sweeper import run_sweep
 from repro.core.report import render_table
 
 
 def test_benchmark_ablation_pdsm(benchmark):
-    points = benchmark.pedantic(pdsm_mixed_workload_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_sweep, args=("pdsm_mixed_workload",), rounds=1, iterations=1
+    )
+    points = list(result.points)
     olap_only = points[0]
     oltp_only = points[-1]
     # Section II-B's contradiction: each extreme has a different winner.

@@ -2,12 +2,15 @@
 
 from conftest import record_artifact
 
-from repro.bench.ablations import processing_model_sweep
+from repro.perf.sweeper import run_sweep
 from repro.core.report import render_table
 
 
 def test_benchmark_ablation_processing_models(benchmark):
-    points = benchmark.pedantic(processing_model_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_sweep, args=("processing_model",), rounds=1, iterations=1
+    )
+    points = list(result.points)
     for point in points:
         assert point.outcomes["bulk_ms"] < point.outcomes["volcano_ms"]
     rows = [

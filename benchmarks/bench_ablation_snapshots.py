@@ -2,12 +2,15 @@
 
 from conftest import record_artifact
 
-from repro.bench.ablations import snapshot_isolation_sweep
+from repro.perf.sweeper import run_sweep
 from repro.core.report import render_table
 
 
 def test_benchmark_ablation_snapshots(benchmark):
-    points = benchmark.pedantic(snapshot_isolation_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_sweep, args=("snapshot_isolation",), rounds=1, iterations=1
+    )
+    points = list(result.points)
     # CoW must beat full copy across realistic write rates, and its cost
     # must grow with the write rate (each touched page faults once).
     assert all(point.outcomes["cow_wins"] == 1.0 for point in points)

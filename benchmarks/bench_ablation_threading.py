@@ -2,12 +2,15 @@
 
 from conftest import record_artifact
 
-from repro.bench.ablations import threading_crossover_sweep
+from repro.perf.sweeper import run_sweep
 from repro.core.report import render_table
 
 
 def test_benchmark_ablation_threading(benchmark):
-    points = benchmark.pedantic(threading_crossover_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        run_sweep, args=("threading_crossover",), rounds=1, iterations=1
+    )
+    points = list(result.points)
     # The sweep must bracket the crossover: multi wins at cheap spawn,
     # loses once thread management dominates.
     assert points[0].outcomes["multi_wins"] == 1.0

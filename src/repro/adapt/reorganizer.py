@@ -31,6 +31,7 @@ from repro.layout.fragment import Fragment
 from repro.layout.layout import Layout
 from repro.layout.linearization import LinearizationKind
 from repro.layout.region import Region
+from repro.perf.cost_cache import invalidate_cost_cache
 
 __all__ = ["build_fragments_for_proposal", "reorganize_layout"]
 
@@ -147,3 +148,6 @@ def reorganize_layout(
         raise
     for fragment in old_fragments:
         fragment.free()
+    # The swap changed fragment geometry in place: memoized costings
+    # keyed on the old fingerprints must not serve the new layout.
+    invalidate_cost_cache()

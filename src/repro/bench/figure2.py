@@ -25,6 +25,7 @@ from repro.execution.threading import (
     SINGLE_THREADED,
     ThreadingPolicy,
 )
+from repro.hardware.event import PerfCounters
 from repro.hardware.platform import Platform
 from repro.layout.fragment import Fragment
 from repro.layout.layout import Layout
@@ -52,6 +53,7 @@ __all__ = [
     "check_panel2_shapes",
     "check_panel3_shapes",
     "check_panel4_shapes",
+    "trace_crosscheck",
     "render_panel",
 ]
 
@@ -353,6 +355,97 @@ def check_panel4_shapes(panel: PanelResult) -> list[str]:
                     f"{name} {point_h.milliseconds:.3f} ms at {point_d.rows}"
                 )
     return problems
+
+
+def trace_crosscheck(
+    row_count: int = 200_000, attribute: str = "i_price"
+) -> dict[str, dict[str, float]]:
+    """Batched trace-vs-analytic agreement at benchmark-relevant scale.
+
+    Builds the panel stores' two canonical access shapes — the DSM
+    column stream and the NSM whole-record strided walk — as address
+    arrays (:func:`~repro.layout.linearization.dsm_column_addresses`,
+    :func:`~repro.layout.linearization.nsm_record_addresses`), replays
+    them through the platform's exact trace-driven hierarchy with
+    :meth:`~repro.hardware.cache.CacheHierarchy.access_batch`, and
+    returns per shape the traced cycles, the analytic model's cycles
+    and their ratio.  This is the same cross-check the agreement tests
+    run, packaged for the benchmark drivers: the batch path is what
+    makes running it at paper-relevant sizes affordable.
+    """
+    import numpy as np
+
+    from repro.layout.linearization import (
+        dsm_column_addresses,
+        nsm_record_addresses,
+    )
+    from repro.workload.tpcc import customer_relation
+
+    platform = Platform.paper_testbed()
+    model = platform.memory_model
+    results: dict[str, dict[str, float]] = {}
+
+    # DSM: one contiguous column stream (panels 3/4's scan shape).  The
+    # per-value addresses are coalesced to line granularity before
+    # tracing — the analytic model prices lines, and the agreement
+    # convention (tests/hardware/test_cache.py) traces one access per
+    # line for streams.
+    items = item_relation(row_count)
+    column_store = build_column_store(platform, items)
+    fragment = column_store.fragments_for_attribute(attribute)[0]
+    base, __ = fragment.column_address_range(attribute)
+    width = fragment.schema.attribute(attribute).width
+    addresses, sizes = dsm_column_addresses(
+        base, fragment.schema, fragment.capacity, attribute, range(row_count)
+    )
+    step = max(model.line // width, 1)
+    line_addresses = addresses[::step]
+    line_sizes = np.full(line_addresses.shape, width * step, dtype=np.int64)
+    hierarchy = platform.make_trace_hierarchy()
+    traced = hierarchy.access_batch(line_addresses, line_sizes, PerfCounters())
+    analytic = model.sequential(row_count * width)
+    results["dsm_stream"] = {
+        "traced_cycles": traced,
+        "analytic_cycles": analytic,
+        # Streams are bandwidth-bound in both views: ratio ~ 1.
+        "ratio": traced / analytic if analytic else 1.0,
+    }
+
+    # NSM: one field per record, strided by the record width (panel 2's
+    # scan-over-rows shape; customer records are 96 bytes, so the
+    # stride survives line granularity).  The trace serializes misses
+    # the analytic model overlaps by mlp, so the agreement ratio is
+    # traced / (mlp * analytic) ~ 1 (same convention as the tests).
+    customers = customer_relation(row_count)
+    row_store = build_row_store(platform, customers)
+    nsm = row_store.fragments[0]
+    base, __ = nsm.record_address(0)
+    record_addresses, __ = nsm_record_addresses(
+        base, nsm.schema, range(row_count)
+    )
+    field_addresses = record_addresses + nsm.schema.offset_of(attribute_nsm(nsm))
+    field_width = nsm.schema.attribute(attribute_nsm(nsm)).width
+    field_sizes = np.full(field_addresses.shape, field_width, dtype=np.int64)
+    hierarchy = platform.make_trace_hierarchy()
+    traced = hierarchy.access_batch(field_addresses, field_sizes, PerfCounters())
+    analytic = model.strided(
+        count=row_count,
+        stride=nsm.schema.record_width,
+        touched=field_width,
+        footprint=nsm.nbytes,
+    )
+    serialized = model.mlp * analytic
+    results["nsm_strided"] = {
+        "traced_cycles": traced,
+        "analytic_cycles": analytic,
+        "ratio": traced / serialized if serialized else 1.0,
+    }
+    return results
+
+
+def attribute_nsm(fragment: Fragment) -> str:
+    """The widest attribute of a fragment's schema (the scan target)."""
+    return max(fragment.schema, key=lambda attribute: attribute.width).name
 
 
 def render_panel(panel: PanelResult) -> str:

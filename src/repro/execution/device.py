@@ -22,7 +22,7 @@ import math
 from repro.errors import CapacityError, ExecutionError, PlacementError
 from repro.execution.context import ExecutionContext
 from repro.faults.injector import SITE_DEVICE_ALLOC
-from repro.hardware.event import Cycles
+from repro.hardware.event import Cycles, PerfCounters
 from repro.hardware.memory import MemoryKind, MemorySpace
 from repro.layout.fragment import Fragment
 from repro.layout.layout import Layout
@@ -75,6 +75,51 @@ def transfer_fragment(
     cost = ctx.platform.interconnect.transfer_cost(fragment.nbytes, ctx.counters)
     ctx.note(f"transfer({fragment.label})", cost)
     return clone
+
+
+def _chunked_reduction_cost(
+    ctx: ExecutionContext, count: int, per_chunk: int, width: int
+) -> Cycles:
+    """Charge a chunked reduction without pricing every chunk separately.
+
+    A chunked staging loop runs ``count // per_chunk`` full chunks plus
+    at most one remainder chunk, so only two distinct kernel costs
+    exist.  Each is priced once against a scratch counter, then the
+    per-chunk charges are replayed with seeded ``np.cumsum`` (strict
+    left-to-right accumulation) so cycles and device-cycles — and the
+    integer launch counts — land byte-identical to the per-chunk loop.
+    """
+    gpu = ctx.platform.gpu
+    n_full, remainder = divmod(count, per_chunk)
+    costs: list[Cycles] = []
+    device_cycles: list[float] = []
+    launches = 0
+    if n_full:
+        probe = PerfCounters()
+        full_cost = gpu.reduction_cost(per_chunk, width, probe)
+        costs.extend([full_cost] * n_full)
+        device_cycles.extend([probe.device_cycles] * n_full)
+        launches += probe.kernel_launches * n_full
+    if remainder:
+        probe = PerfCounters()
+        costs.append(gpu.reduction_cost(remainder, width, probe))
+        device_cycles.append(probe.device_cycles)
+        launches += probe.kernel_launches
+    counters = ctx.counters
+    kernel_cost = _seeded_sum(0.0, costs)
+    counters.cycles = _seeded_sum(counters.cycles, costs)
+    counters.device_cycles = _seeded_sum(counters.device_cycles, device_cycles)
+    counters.kernel_launches += launches
+    return kernel_cost
+
+
+def _seeded_sum(seed: float, values: list[float]) -> float:
+    """Strict left-to-right float sum of *values* starting from *seed*."""
+    accumulator = np.empty(len(values) + 1, dtype=np.float64)
+    accumulator[0] = seed
+    accumulator[1:] = values
+    np.cumsum(accumulator, out=accumulator)
+    return float(accumulator[-1])
 
 
 def device_sum_column(
@@ -140,15 +185,13 @@ def device_sum_column(
         finally:
             device.free(bounce)
     if count:
-        per_chunk = math.ceil(count / chunks)
-        kernel_cost = 0.0
-        for chunk_index in range(chunks):
-            chunk_count = min(per_chunk, count - chunk_index * per_chunk)
-            if chunk_count <= 0:
-                break
-            kernel_cost += ctx.platform.gpu.reduction_cost(
-                chunk_count, width, ctx.counters
+        if chunks == 1:
+            kernel_cost = ctx.platform.gpu.reduction_cost(
+                count, width, ctx.counters
             )
+        else:
+            per_chunk = math.ceil(count / chunks)
+            kernel_cost = _chunked_reduction_cost(ctx, count, per_chunk, width)
         ctx.note(f"gpu-reduce({attribute})", kernel_cost)
     # Returning the scalar to the host is one tiny device->host copy.
     result_cost = ctx.platform.interconnect.transfer_cost(width, ctx.counters)

@@ -5,21 +5,34 @@ module is the heart of the hardware substitution.  It provides two
 views of the same machine:
 
 * :class:`CacheHierarchy` — a trace-driven, set-associative LRU
-  simulator with a next-line stream prefetcher.  Exact, but too slow for
-  the paper's 85-million-row sweeps in pure Python.
+  simulator with a next-line stream prefetcher.  Exact; the batched
+  entry point :meth:`CacheHierarchy.access_batch` vectorizes trace
+  expansion, stream detection and the streaming-miss common case with
+  numpy, which is what makes paper-scale validation traces tractable
+  in pure Python (docs/PERFORMANCE.md).
 * :class:`AnalyticMemoryModel` — closed-form costs for the three access
   patterns the paper's operators generate (sequential streams, strided
   scans, random point accesses).  Fast enough for the full sweeps.
 
-The test suite drives both over identical access patterns on small
-inputs and asserts they agree within a tolerance, which is what licenses
-using the analytic model for the big benchmark sweeps (DESIGN.md §6).
+The test suite drives both over identical access patterns and asserts
+they agree within a tolerance, which is what licenses using the
+analytic model for the big benchmark sweeps (DESIGN.md §6); the batch
+path is additionally pinned byte-identical to the scalar path in
+``tests/hardware/test_batch_trace.py``.
+
+Size contract (shared with :class:`AnalyticMemoryModel`): zero-byte
+accesses cost nothing and return ``0.0``; negative sizes are caller
+bugs and raise :class:`~repro.errors.StorageError`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
 
 from repro.errors import StorageError
 from repro.hardware.event import Cycles, PerfCounters
@@ -56,12 +69,24 @@ class CacheGeometry:
 
 
 class CacheLevel:
-    """One set-associative cache level with LRU replacement."""
+    """One set-associative cache level with LRU replacement.
+
+    Each set is an :class:`~collections.OrderedDict` keyed by tag
+    (front = least recent), so a touch is O(1) ``move_to_end`` instead
+    of the O(ways) ``list.remove`` scan a list-based LRU pays.  A
+    level-wide ``resident`` set of line numbers mirrors the per-set
+    state so the batched trace path can prove "none of these lines can
+    hit" without walking the sets.
+    """
 
     def __init__(self, geometry: CacheGeometry) -> None:
         self.geometry = geometry
-        # Per set: list of tags in LRU order (front = least recent).
-        self._sets: list[list[int]] = [[] for _ in range(geometry.sets)]
+        # Per set: tag -> None in LRU order (front = least recent).
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(geometry.sets)
+        ]
+        # All resident line numbers (tag * sets + set_index), level-wide.
+        self._resident: set[int] = set()
         self.hits = 0
         self.misses = 0
 
@@ -73,24 +98,94 @@ class CacheLevel:
         sizes can share traces.
         """
         geometry = self.geometry
-        set_index = line_address % geometry.sets
-        tag = line_address // geometry.sets
+        sets = geometry.sets
+        set_index = line_address % sets
+        tag = line_address // sets
         lru = self._sets[set_index]
         if tag in lru:
-            lru.remove(tag)
-            lru.append(tag)
+            lru.move_to_end(tag)
             self.hits += 1
             return True
         self.misses += 1
-        lru.append(tag)
+        lru[tag] = None
+        self._resident.add(line_address)
         if len(lru) > geometry.ways:
-            lru.pop(0)
+            evicted, __ = lru.popitem(last=False)
+            self._resident.discard(evicted * sets + set_index)
         return False
+
+    def resident_none(self, lines: set[int]) -> bool:
+        """True when no line in *lines* is currently cached here."""
+        return self._resident.isdisjoint(lines)
+
+    def install_run(self, line_addresses: np.ndarray) -> None:
+        """Bulk-install distinct, non-resident lines (certain misses).
+
+        The caller guarantees every line is absent from this level and
+        appears once; each install then behaves exactly like a scalar
+        miss (append to the set's MRU end, evict the LRU tag past the
+        associativity limit), so the final LRU state is identical to
+        replaying the run through :meth:`access` — but sets that absorb
+        runs longer than their associativity are rebuilt from the run's
+        tail in O(ways) instead of O(run length).
+        """
+        sets_count = self.geometry.sets
+        ways = self.geometry.ways
+        set_index = line_addresses % sets_count
+        tags = line_addresses // sets_count
+        # Narrow the grouping key: numpy's stable argsort radix-sorts
+        # small unsigned ints in one or two passes, versus a comparison
+        # sort on the original int64 line numbers.
+        if sets_count <= 1 << 8:
+            sort_key = set_index.astype(np.uint8)
+        elif sets_count <= 1 << 16:
+            sort_key = set_index.astype(np.uint16)
+        else:
+            sort_key = set_index
+        order = np.argsort(sort_key, kind="stable")
+        sorted_sets = set_index[order]
+        sorted_tags = tags[order]
+        boundaries = np.flatnonzero(sorted_sets[1:] != sorted_sets[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [sorted_sets.size]))
+        # Replaying distinct misses leaves (existing + new)[-ways:] in
+        # each set; only each run's tail can survive, so the evicted
+        # head is never materialized.  All tails are gathered with one
+        # ragged-slice index so the resident mirror updates in a single
+        # C-level set.update instead of one add() per line.
+        tail_starts = np.maximum(starts, stops - ways)
+        lengths = stops - tail_starts
+        group_offsets = np.cumsum(lengths) - lengths
+        flat = (
+            np.arange(int(lengths.sum()), dtype=np.int64)
+            - np.repeat(group_offsets, lengths)
+            + np.repeat(tail_starts, lengths)
+        )
+        tail_tags = sorted_tags[flat]
+        set_values = sorted_sets[tail_starts]
+        tail_lines = tail_tags * sets_count + np.repeat(set_values, lengths)
+        resident = self._resident
+        all_tags = tail_tags.tolist()
+        group_starts = group_offsets.tolist()
+        group_lengths = lengths.tolist()
+        for group, target in enumerate(set_values.tolist()):
+            lru = self._sets[target]
+            begin = group_starts[group]
+            tail = all_tags[begin : begin + group_lengths[group]]
+            overflow = len(lru) + len(tail) - ways
+            for _ in range(overflow if overflow > 0 else 0):
+                old_tag, __ = lru.popitem(last=False)
+                resident.discard(old_tag * sets_count + target)
+            for tag in tail:
+                lru[tag] = None
+        resident.update(tail_lines.tolist())
+        self.misses += int(line_addresses.size)
 
     def flush(self) -> None:
         """Drop all cached lines (keeps hit/miss counts)."""
         for lru in self._sets:
             lru.clear()
+        self._resident.clear()
 
 
 class CacheHierarchy:
@@ -103,6 +198,10 @@ class CacheHierarchy:
     access stream and the prefetcher converts subsequent misses in the
     stream into bandwidth-priced hits (modelling the hardware stream
     prefetcher hiding latency on sequential scans).
+
+    ``access_batch(addresses, sizes)`` replays a whole trace in one
+    call with identical semantics and byte-identical counters — see
+    :meth:`access_batch`.
     """
 
     def __init__(
@@ -127,9 +226,16 @@ class CacheHierarchy:
 
     # ------------------------------------------------------------------
     def access(self, address: int, size: int, counters: PerfCounters) -> Cycles:
-        """Charge the cost of touching ``[address, address+size)``."""
-        if size <= 0:
-            raise StorageError(f"access size must be positive, got {size}")
+        """Charge the cost of touching ``[address, address+size)``.
+
+        A zero-byte access touches nothing and returns ``0.0``; a
+        negative size raises :class:`~repro.errors.StorageError` (the
+        contract shared with :class:`AnalyticMemoryModel`).
+        """
+        if size < 0:
+            raise StorageError(f"access size must be non-negative, got {size}")
+        if size == 0:
+            return 0.0
         first = address // self.line
         last = (address + size - 1) // self.line
         cost: Cycles = 0.0
@@ -137,6 +243,240 @@ class CacheHierarchy:
             cost += self._access_line(line_address, counters)
         counters.bytes_read += size
         return cost
+
+    def access_batch(
+        self,
+        addresses: np.ndarray,
+        sizes: np.ndarray,
+        counters: PerfCounters,
+    ) -> Cycles:
+        """Replay a whole (addresses, sizes) trace in one call.
+
+        Semantically identical to looping :meth:`access` over the pairs
+        — every counter (per-level hits/misses, cycles, bytes) and the
+        final LRU/stream state are byte-identical, which
+        ``tests/hardware/test_batch_trace.py`` pins — but the trace is
+        processed in bulk:
+
+        * address → line-number expansion and consecutive-duplicate
+          collapsing are numpy operations;
+        * stream/prefetch detection runs once over the collapsed line
+          sequence via ``np.diff`` instead of per line;
+        * same-line re-touches (sub-line sequential scans) are charged
+          as the guaranteed L1 hits they are, without LRU lookups;
+        * an ascending run of lines absent from every level — the cold
+          streaming scan that dominates benchmark traces — is priced
+          entirely in numpy and bulk-installed per set, so only the
+          (typically small) irregular residue walks the per-set LRU.
+
+        Cycle accumulation uses ``np.cumsum`` (strict left-to-right
+        accumulation) seeded with the counter's current value, so even
+        the floating-point rounding matches the scalar loop bit for bit.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if addresses.shape != sizes.shape or addresses.ndim != 1:
+            raise StorageError(
+                f"addresses {addresses.shape} and sizes {sizes.shape} must be "
+                "matching 1-D arrays"
+            )
+        if addresses.size and int(sizes.min()) < 0:
+            raise StorageError(
+                f"access sizes must be non-negative, got {int(sizes.min())}"
+            )
+        total_bytes = int(sizes.sum()) if sizes.size else 0
+        positive = sizes > 0
+        if not bool(positive.all()):
+            addresses = addresses[positive]
+            sizes = sizes[positive]
+        if addresses.size == 0:
+            return 0.0
+
+        # Expand byte ranges to the per-line trace, in access order.
+        # Sub-line accesses (the common operator shape) need no
+        # expansion at all: the trace is the first-line array itself.
+        first = addresses // self.line
+        last = (addresses + sizes - 1) // self.line
+        if bool((first == last).all()):
+            trace = first
+        else:
+            counts = last - first + 1
+            starts = np.cumsum(counts) - counts
+            trace = (
+                np.arange(int(counts.sum()), dtype=np.int64)
+                - np.repeat(starts, counts)
+                + np.repeat(first, counts)
+            )
+        total_lines = int(trace.size)
+
+        # Collapse consecutive duplicates: a re-touch of the line just
+        # accessed is a guaranteed L1 hit (the line is MRU everywhere it
+        # was installed) and leaves the stream run unchanged.  When the
+        # trace has no duplicates the collapse is the identity and the
+        # cost vector can be addressed by slice instead of index lists.
+        l1 = self.levels[0]
+        costs = np.empty(total_lines, dtype=np.float64)
+        keep_positions: np.ndarray | None = None
+        collapsed = trace
+        repeat_hits = 0
+        if total_lines > 1:
+            keep = np.empty(total_lines, dtype=bool)
+            keep[0] = True
+            np.not_equal(trace[1:], trace[:-1], out=keep[1:])
+            if not bool(keep.all()):
+                keep_positions = np.flatnonzero(keep)
+                collapsed = trace[keep_positions]
+                repeat_hits = total_lines - int(collapsed.size)
+                costs[~keep] = l1.geometry.latency
+
+        # A leading repeat of the previous access's last line is the
+        # same guaranteed L1 hit across the batch boundary.
+        start_index = 0
+        if self._last_line is not None and int(collapsed[0]) == self._last_line:
+            costs[0 if keep_positions is None else keep_positions[0]] = (
+                l1.geometry.latency
+            )
+            repeat_hits += 1
+            start_index = 1
+        if repeat_hits:
+            l1.hits += repeat_hits
+            self._count_bulk(0, repeat_hits, 0, counters)
+
+        work = collapsed[start_index:]
+        if work.size:
+            if keep_positions is None:
+                vector_index: Any = slice(start_index, total_lines)
+                scalar_positions: Any = range(start_index, total_lines)
+            else:
+                positions = keep_positions[start_index:]
+                vector_index = positions
+                scalar_positions = positions.tolist()
+            ascending = work.size == 1 or bool(np.all(np.diff(work) > 0))
+            untouched = ascending
+            if ascending:
+                lines: set[int] | None = None  # built only if a level is warm
+                for level in self.levels:
+                    if not level._resident:
+                        continue
+                    if lines is None:
+                        lines = set(work.tolist())
+                    if not level.resident_none(lines):
+                        untouched = False
+                        break
+            if untouched:
+                self._batch_miss_run(work, vector_index, costs, counters)
+            else:
+                self._batch_residue(work, scalar_positions, costs, counters)
+
+        # Left-to-right accumulation seeded with the running total: the
+        # exact float additions the scalar per-line loop performs.
+        accumulator = np.empty(total_lines + 1, dtype=np.float64)
+        accumulator[0] = counters.cycles
+        accumulator[1:] = costs
+        np.cumsum(accumulator, out=accumulator)
+        before = counters.cycles
+        counters.cycles = float(accumulator[-1])
+        counters.bytes_read += total_bytes
+        return counters.cycles - before
+
+    def _batch_miss_run(
+        self,
+        work: np.ndarray,
+        vector_index: "slice | np.ndarray",
+        costs: np.ndarray,
+        counters: PerfCounters,
+    ) -> None:
+        """Price an ascending run of lines absent from every level.
+
+        Each line misses the full hierarchy, so the only question per
+        line is its stream run: prefetched lines pay the bandwidth
+        price, the rest the memory latency.  Runs are recovered as a
+        vectorized "distance since the last non-sequential step" via
+        ``np.maximum.accumulate`` over the reset positions.
+        """
+        count = int(work.size)
+        sequential = np.empty(count, dtype=bool)
+        sequential[0] = (
+            self._last_line is not None and int(work[0]) == self._last_line + 1
+        )
+        if count > 1:
+            np.equal(np.diff(work), 1, out=sequential[1:])
+        index = np.arange(count, dtype=np.int64)
+        last_reset = np.maximum.accumulate(
+            np.where(sequential, np.int64(-1), index)
+        )
+        runs = np.where(
+            last_reset >= 0,
+            index - last_reset,
+            index + 1 + self._stream_run,
+        )
+        costs[vector_index] = np.where(
+            runs >= self.prefetch_window,
+            self.line_bandwidth_cycles,
+            self.memory_latency,
+        )
+        for depth, level in enumerate(self.levels):
+            level.install_run(work)
+            self._count_bulk(depth, 0, count, counters)
+        self._last_line = int(work[-1])
+        self._stream_run = int(runs[-1])
+
+    def _batch_residue(
+        self,
+        work: np.ndarray,
+        scalar_positions: "range | list[int]",
+        costs: np.ndarray,
+        counters: PerfCounters,
+    ) -> None:
+        """Exact per-line replay for the irregular part of a batch.
+
+        Mirrors :meth:`_access_line` line by line (the collapsed trace
+        contains no same-line repeats, so the "same line" stream branch
+        cannot trigger), with the per-set LRU dictionaries bound to
+        locals and the counter writes batched at the end.
+        """
+        levels = self.levels
+        level_state = [
+            (level, level.geometry.sets, level.geometry.ways, level._sets)
+            for level in levels
+        ]
+        hit_tally = [0] * len(levels)
+        miss_tally = [0] * len(levels)
+        last_line = self._last_line
+        stream_run = self._stream_run
+        window = self.prefetch_window
+        bandwidth = self.line_bandwidth_cycles
+        latency = self.memory_latency
+        for position, line in zip(scalar_positions, work.tolist()):
+            if last_line is not None and line == last_line + 1:
+                stream_run += 1
+            else:
+                stream_run = 0
+            last_line = line
+            cost = None
+            for depth, (level, sets, ways, lrus) in enumerate(level_state):
+                tag, set_index = divmod(line, sets)
+                lru = lrus[set_index]
+                if tag in lru:
+                    lru.move_to_end(tag)
+                    hit_tally[depth] += 1
+                    cost = level.geometry.latency
+                    break
+                miss_tally[depth] += 1
+                lru[tag] = None
+                level._resident.add(line)
+                if len(lru) > ways:
+                    evicted, __ = lru.popitem(last=False)
+                    level._resident.discard(evicted * sets + set_index)
+            if cost is None:
+                cost = bandwidth if stream_run >= window else latency
+            costs[position] = cost
+        for depth, level in enumerate(levels):
+            level.hits += hit_tally[depth]
+            level.misses += miss_tally[depth]
+            self._count_bulk(depth, hit_tally[depth], miss_tally[depth], counters)
+        self._last_line = last_line
+        self._stream_run = stream_run
 
     def _access_line(self, line_address: int, counters: PerfCounters) -> Cycles:
         sequential = (
@@ -178,6 +518,19 @@ class CacheHierarchy:
             counters.l3_hits += hit
             counters.l3_misses += not hit
 
+    def _count_bulk(
+        self, depth: int, hits: int, misses: int, counters: PerfCounters
+    ) -> None:
+        if depth == 0:
+            counters.l1_hits += hits
+            counters.l1_misses += misses
+        elif depth == 1:
+            counters.l2_hits += hits
+            counters.l2_misses += misses
+        else:
+            counters.l3_hits += hits
+            counters.l3_misses += misses
+
     def flush(self) -> None:
         """Empty every level and forget stream state."""
         for level in self.levels:
@@ -201,6 +554,10 @@ class AnalyticMemoryModel:
     slowly with table size: once the footprint exceeds the second-level
     TLB's coverage, every random access pays a page walk whose cost
     grows with the page-table working set.
+
+    Size contract (shared with :class:`CacheHierarchy`): zero bytes or
+    zero accesses cost ``0.0``; negative inputs raise
+    :class:`~repro.errors.StorageError`.
     """
 
     line: int = 64
@@ -224,7 +581,9 @@ class AnalyticMemoryModel:
         plus a short latency ramp for the first lines before the stream
         prefetcher locks on.
         """
-        if nbytes <= 0:
+        if nbytes < 0:
+            raise StorageError(f"stream size must be non-negative, got {nbytes}")
+        if nbytes == 0:
             return 0.0
         lines = math.ceil(nbytes / self.line)
         ramp_lines = min(lines, 4)
@@ -253,7 +612,9 @@ class AnalyticMemoryModel:
         line size.  For sub-line strides the pattern degenerates to a
         sequential stream.
         """
-        if count <= 0:
+        if count < 0:
+            raise StorageError(f"access count must be non-negative, got {count}")
+        if count == 0:
             return 0.0
         if stride <= self.line:
             return self.sequential(count * stride, counters)
@@ -287,7 +648,9 @@ class AnalyticMemoryModel:
         footprint/LLC ratio, plus a TLB page-walk term once the
         footprint exceeds second-level TLB coverage.
         """
-        if count <= 0:
+        if count < 0:
+            raise StorageError(f"access count must be non-negative, got {count}")
+        if count == 0:
             return 0.0
         lines_per_access = self._span_lines(touched)
         miss_fraction = self._capacity_miss_fraction(footprint)
@@ -327,15 +690,16 @@ class AnalyticMemoryModel:
         return max(0.0, min(1.0, 1.0 - self.llc_size / footprint))
 
     def _span_lines(self, touched: int) -> int:
-        """Average cache lines covered by *touched* bytes at a random offset.
+        """Cache lines covered by a *touched*-byte object: ``ceil(t/line)``.
 
-        A ``touched``-byte object at a uniformly random alignment spans
-        ``ceil(touched/line)`` lines plus an extra straddle line with
-        probability ``(touched - 1) % line / line``; we round to the
-        expected value to keep the model closed-form.
+        The hardware pulls whole lines, so a ``touched``-byte object
+        costs at least ``ceil(touched / line)`` of them; the model
+        charges exactly that, keeping the count integral and monotone
+        in ``touched``.  (Alignment straddle — the extra line a
+        misaligned object may cross — is below the model's resolution:
+        rounding the expected straddle never changes the count for the
+        sub-line and record-sized objects the operators generate.)
         """
         if touched <= 0:
             return 0
-        base = math.ceil(touched / self.line)
-        straddle = ((touched - 1) % self.line) / self.line
-        return max(1, round(base + straddle - 0.5) or 1)
+        return math.ceil(touched / self.line)

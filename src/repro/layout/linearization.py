@@ -15,6 +15,8 @@ from __future__ import annotations
 import enum
 from typing import Any, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import LayoutError
 from repro.model.schema import Schema
 from repro.model.tuples import RecordCodec
@@ -58,13 +60,15 @@ def dsm_serialize(schema: Schema, rows: Sequence[Sequence[Any]]) -> bytes:
     all columns, unlike DSM-*emulated* which stores each column in its
     own block (that case is n thin fragments, not one fat one).
     """
+    arity = schema.arity
+    for row in rows:
+        if len(row) != arity:
+            raise LayoutError(
+                f"row has {len(row)} values, schema needs {arity}"
+            )
     parts: list[bytes] = []
     for position, attribute in enumerate(schema):
         for row in rows:
-            if len(row) != schema.arity:
-                raise LayoutError(
-                    f"row has {len(row)} values, schema needs {schema.arity}"
-                )
             parts.append(attribute.dtype.encode(row[position]))
     return b"".join(parts)
 
@@ -110,4 +114,42 @@ def iter_dsm_column_addresses(
         yield column_base + row_index * column_width, column_width
 
 
-__all__ += ["iter_nsm_record_addresses", "iter_dsm_column_addresses"]
+def nsm_record_addresses(
+    base: int, schema: Schema, row_indices: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array form of :func:`iter_nsm_record_addresses`.
+
+    Returns ``(addresses, sizes)`` as int64 numpy arrays, one entry per
+    row index, ready for :meth:`CacheHierarchy.access_batch`.  Pairwise
+    identical to the iterator (pinned by the linearization tests).
+    """
+    width = schema.record_width
+    indices = np.asarray(row_indices, dtype=np.int64)
+    addresses = base + indices * width
+    sizes = np.full(indices.shape, width, dtype=np.int64)
+    return addresses, sizes
+
+
+def dsm_column_addresses(
+    base: int, schema: Schema, row_count: int, attribute: str, row_indices: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array form of :func:`iter_dsm_column_addresses`.
+
+    Returns ``(addresses, sizes)`` as int64 numpy arrays, one entry per
+    row index, ready for :meth:`CacheHierarchy.access_batch`.  Pairwise
+    identical to the iterator (pinned by the linearization tests).
+    """
+    column_width = schema.attribute(attribute).width
+    column_base = base + dsm_field_offset(schema, row_count, 0, attribute)
+    indices = np.asarray(row_indices, dtype=np.int64)
+    addresses = column_base + indices * column_width
+    sizes = np.full(indices.shape, column_width, dtype=np.int64)
+    return addresses, sizes
+
+
+__all__ += [
+    "iter_nsm_record_addresses",
+    "iter_dsm_column_addresses",
+    "nsm_record_addresses",
+    "dsm_column_addresses",
+]

@@ -1,0 +1,6 @@
+"""Module entry point: ``python -m repro.perf`` runs the sweep CLI."""
+
+from repro.perf.sweeper import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

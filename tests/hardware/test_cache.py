@@ -1,6 +1,7 @@
 """Cache simulation tests: trace-driven LRU behaviour, prefetcher, and
 the analytic-vs-trace agreement that licenses the analytic fast path."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -93,10 +94,26 @@ class TestHierarchy:
         hierarchy.access(0, 200, counters)  # 4 lines
         assert counters.l1_misses == 4
 
-    def test_zero_size_access_rejected(self):
+    def test_size_contract_shared_with_analytic_model(self):
+        # Shared contract: zero-size work is free (0.0), negative sizes
+        # are caller bugs and raise — identically on both cost planes.
         hierarchy = tiny_hierarchy()
+        counters = PerfCounters()
+        assert hierarchy.access(0, 0, counters) == 0.0
+        assert counters.snapshot() == PerfCounters().snapshot()
         with pytest.raises(StorageError):
-            hierarchy.access(0, 0, PerfCounters())
+            hierarchy.access(0, -1, PerfCounters())
+
+        model = AnalyticMemoryModel()
+        assert model.sequential(0) == 0.0
+        assert model.strided(0, 128, 8, 1 << 20) == 0.0
+        assert model.random(0, 8, 1 << 20) == 0.0
+        with pytest.raises(StorageError):
+            model.sequential(-1)
+        with pytest.raises(StorageError):
+            model.strided(-1, 128, 8, 1 << 20)
+        with pytest.raises(StorageError):
+            model.random(-1, 8, 1 << 20)
 
     def test_mismatched_line_sizes_rejected(self):
         with pytest.raises(StorageError):
@@ -163,34 +180,52 @@ class TestAnalyticModel:
         assert counters.bytes_read == 6400
         assert counters.cycles > 0
 
+    def test_span_lines_is_ceil_of_touched_over_line(self):
+        # Pinned formula: lines(t) = ceil(t / line), 0 for t <= 0 — the
+        # explicit form of the old ``round(t / line) or 1`` expression.
+        model = AnalyticMemoryModel()
+        line = model.line
+        assert model._span_lines(0) == 0
+        assert model._span_lines(1) == 1
+        assert model._span_lines(line) == 1
+        assert model._span_lines(line + 1) == 2
+        for touched in range(1, 3 * line + 2):
+            assert model._span_lines(touched) == -(-touched // line)
+
 
 class TestAnalyticVsTrace:
-    """The validation that licenses the analytic fast path (DESIGN §6)."""
+    """The validation that licenses the analytic fast path (DESIGN §6).
+
+    Traces run through :meth:`CacheHierarchy.access_batch` at 10x the
+    sizes the scalar loop could afford (the batch path is pinned
+    byte-identical to the scalar one in test_batch_trace.py, so the
+    agreement evidence carries over).
+    """
 
     def test_sequential_agreement(self, platform: Platform):
         hierarchy = platform.make_trace_hierarchy()
         model = platform.memory_model
-        counters = PerfCounters()
-        nbytes = 512 * 1024  # larger than L2, streams through
-        traced = sum(
-            hierarchy.access(address, 64, counters)
-            for address in range(0, nbytes, 64)
-        )
+        nbytes = 5 * 1024 * 1024  # streams through L2 and most of the LLC
+        addresses = np.arange(0, nbytes, 64, dtype=np.int64)
+        sizes = np.full(addresses.shape, 64, dtype=np.int64)
+        traced = hierarchy.access_batch(addresses, sizes, PerfCounters())
         analytic = model.sequential(nbytes)
         assert analytic == pytest.approx(traced, rel=0.35)
 
     def test_strided_agreement_llc_resident(self, platform: Platform):
-        """Warm, LLC-resident strided scans: both models charge ~L3 hits."""
+        """Warm, LLC-resident strided scans: both models charge ~L3 hits.
+
+        The footprint must stay inside the 6 MB LLC, so this is the one
+        agreement case whose size cannot scale with the batch API.
+        """
         hierarchy = platform.make_trace_hierarchy()
         model = platform.memory_model
         counters = PerfCounters()
         stride, count = 96, 30_000  # ~2.9 MB footprint, fits the 6 MB LLC
-        addresses = list(range(0, count * stride, stride))
-        for address in addresses:  # cold pass warms the LLC
-            hierarchy.access(address, 8, counters)
-        traced_warm = sum(
-            hierarchy.access(address, 8, counters) for address in addresses
-        )
+        addresses = np.arange(0, count * stride, stride, dtype=np.int64)
+        sizes = np.full(addresses.shape, 8, dtype=np.int64)
+        hierarchy.access_batch(addresses, sizes, counters)  # warm the LLC
+        traced_warm = hierarchy.access_batch(addresses, sizes, counters)
         analytic = model.strided(count, stride, 8, count * stride)
         assert analytic == pytest.approx(traced_warm, rel=0.6)
 
@@ -200,30 +235,27 @@ class TestAnalyticVsTrace:
         analytic model's divisor -- so traced/mlp must match."""
         hierarchy = platform.make_trace_hierarchy()
         model = platform.memory_model
-        counters = PerfCounters()
-        stride, count = 96, 200_000  # ~19 MB footprint, far beyond LLC
-        traced = sum(
-            hierarchy.access(address, 8, counters)
-            for address in range(0, count * stride, stride)
-        )
+        stride, count = 96, 2_000_000  # ~190 MB footprint, far beyond LLC
+        addresses = np.arange(0, count * stride, stride, dtype=np.int64)
+        sizes = np.full(addresses.shape, 8, dtype=np.int64)
+        traced = hierarchy.access_batch(addresses, sizes, PerfCounters())
         analytic = model.strided(count, stride, 8, count * stride)
         assert analytic == pytest.approx(traced / model.mlp, rel=0.5)
 
     def test_nsm_vs_dsm_ordering_matches_trace(self, platform: Platform):
         """The *ordering* (who wins) must agree exactly, not just costs."""
         model = platform.memory_model
-        count = 50_000
-        hierarchy = platform.make_trace_hierarchy()
+        count = 500_000
         counters = PerfCounters()
-        nsm_traced = sum(
-            hierarchy.access(base_address, 8, counters)
-            for base_address in range(0, count * 96, 96)
-        )
         hierarchy = platform.make_trace_hierarchy()
-        dsm_traced = sum(
-            hierarchy.access(base_address, 8, counters)
-            for base_address in range(10**9, 10**9 + count * 8, 8)
+        nsm_addresses = np.arange(0, count * 96, 96, dtype=np.int64)
+        sizes = np.full(nsm_addresses.shape, 8, dtype=np.int64)
+        nsm_traced = hierarchy.access_batch(nsm_addresses, sizes, counters)
+        hierarchy = platform.make_trace_hierarchy()
+        dsm_addresses = np.arange(
+            10**9, 10**9 + count * 8, 8, dtype=np.int64
         )
+        dsm_traced = hierarchy.access_batch(dsm_addresses, sizes, counters)
         nsm_analytic = model.strided(count, 96, 8, count * 96)
         dsm_analytic = model.sequential(count * 8)
         assert (nsm_traced > dsm_traced) == (nsm_analytic > dsm_analytic)
@@ -247,21 +279,20 @@ class TestRandomPatternAgreement:
     """Random point accesses: trace (serialized) vs analytic (MLP)."""
 
     def test_random_agreement_memory_bound(self, platform: Platform):
-        import numpy as np
-
         hierarchy = platform.make_trace_hierarchy()
         model = platform.memory_model
-        counters = PerfCounters()
+        count = 30_000
         footprint = 64 << 20  # 64 MiB, far beyond LLC
         rng = np.random.default_rng(9)
-        addresses = rng.integers(0, footprint - 8, size=3000)
-        traced = sum(hierarchy.access(int(a), 8, counters) for a in addresses)
-        analytic = model.random(3000, 8, footprint)
+        addresses = rng.integers(0, footprint - 8, size=count)
+        sizes = np.full(addresses.shape, 8, dtype=np.int64)
+        traced = hierarchy.access_batch(addresses, sizes, PerfCounters())
+        analytic = model.random(count, 8, footprint)
         # Subtract the analytic TLB term (the trace has no TLB) and
         # compare the cache part against the trace divided by the
         # model's effective overlap for single-line point accesses
         # (min(mlp, lines+1) = 2: point chases overlap less than scans).
-        walk = model.page_walk_cost(footprint) * 3000
+        walk = model.page_walk_cost(footprint) * count
         effective_overlap = min(model.mlp, 2.0)
         assert analytic - walk == pytest.approx(
             traced / effective_overlap, rel=0.35

@@ -18,6 +18,7 @@ from repro.bench import (
     panel2_sum_selected_items,
     panel3_sum_all_transfer_included,
     panel4_sum_all_device_resident,
+    trace_crosscheck,
 )
 
 
@@ -92,3 +93,23 @@ class TestPanelMagnitudes:
         with_transfer = panel3.y_at("column-store / device", 65_000_000)
         resident = panel4.y_at("column-store / device", 65_000_000)
         assert with_transfer > 5 * resident
+
+
+class TestTraceCrosscheck:
+    """The batched trace path re-validates Figure 2's two scan shapes.
+
+    `trace_crosscheck` drives the layout-generated addresses through
+    `access_batch` and compares against the analytic formulas — the
+    production-path version of the synthetic agreement tests in
+    tests/hardware/test_cache.py.
+    """
+
+    def test_both_shapes_agree(self):
+        report = trace_crosscheck(row_count=60_000)
+        dsm = report["dsm_stream"]
+        nsm = report["nsm_strided"]
+        assert dsm["ratio"] == pytest.approx(1.0, rel=0.25)
+        assert nsm["ratio"] == pytest.approx(1.0, rel=0.25)
+        # The traced orderings reproduce the paper's effect: strided
+        # NSM field reads cost more than the DSM column stream.
+        assert nsm["traced_cycles"] > dsm["traced_cycles"]

@@ -1,10 +1,15 @@
 """Byte-exact linearization tests pinned to Figure 3's formats."""
 
+import numpy as np
 import pytest
 
-from repro.errors import LayoutError
+from repro.errors import LayoutError, SchemaError
 from repro.layout.linearization import (
     LinearizationKind,
+    dsm_column_addresses,
+    iter_dsm_column_addresses,
+    iter_nsm_record_addresses,
+    nsm_record_addresses,
     dsm_field_offset,
     dsm_serialize,
     nsm_field_offset,
@@ -79,3 +84,38 @@ class TestEquivalence:
         assert len(nsm) == len(dsm)
         chunk = lambda data: sorted(data[i : i + 4] for i in range(0, len(data), 4))
         assert chunk(nsm) == chunk(dsm)
+
+
+class TestAddressGenerators:
+    """The array trace APIs are pairwise identical to the iterators."""
+
+    def test_nsm_record_addresses_match_iterator(self, schema):
+        indices = [0, 2, 1, 2]
+        addresses, sizes = nsm_record_addresses(1000, schema, indices)
+        expected = list(iter_nsm_record_addresses(1000, schema, indices))
+        assert list(zip(addresses.tolist(), sizes.tolist())) == expected
+        assert addresses.dtype == np.int64 and sizes.dtype == np.int64
+
+    def test_dsm_column_addresses_match_iterator(self, schema):
+        indices = [2, 0, 1]
+        addresses, sizes = dsm_column_addresses(64, schema, 3, "B", indices)
+        expected = list(iter_dsm_column_addresses(64, schema, 3, "B", indices))
+        assert list(zip(addresses.tolist(), sizes.tolist())) == expected
+
+    def test_empty_index_list(self, schema):
+        addresses, sizes = nsm_record_addresses(0, schema, [])
+        assert addresses.size == 0 and sizes.size == 0
+
+    def test_nsm_addresses_step_by_record_width(self, schema):
+        addresses, __ = nsm_record_addresses(0, schema, range(4))
+        assert np.array_equal(np.diff(addresses), [schema.record_width] * 3)
+
+    def test_dsm_addresses_step_by_field_width(self, schema):
+        addresses, sizes = dsm_column_addresses(0, schema, 8, "C", range(4))
+        width = schema.attribute("C").width
+        assert np.array_equal(np.diff(addresses), [width] * 3)
+        assert set(sizes.tolist()) == {width}
+
+    def test_dsm_unknown_attribute_raises(self, schema):
+        with pytest.raises(SchemaError):
+            dsm_column_addresses(0, schema, 3, "Z", [0])

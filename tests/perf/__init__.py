@@ -1,0 +1,1 @@
+"""Tests for the perf package: cost cache and parallel sweep runner."""
