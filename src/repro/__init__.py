@@ -35,9 +35,12 @@ from repro.core import (
 )
 from repro.errors import (
     DeviceError,
+    EngineCrashed,
+    RecoveryError,
     ReorganizationAborted,
     ReproError,
     TransferError,
+    WalError,
 )
 from repro.execution import (
     MULTI_THREADED_8,
@@ -56,6 +59,13 @@ from repro.hardware import Platform
 from repro.layout import Fragment, Layout, LinearizationKind, Region
 from repro.model import Relation, Schema
 from repro.mvcc import Snapshot, SnapshotManager
+from repro.recovery import (
+    CheckpointStore,
+    RecoveryManager,
+    ReplicatedLog,
+    WriteAheadLog,
+    run_crash_recover,
+)
 
 __version__ = "1.0.0"
 
@@ -65,6 +75,9 @@ __all__ = [
     "TransferError",
     "DeviceError",
     "ReorganizationAborted",
+    "EngineCrashed",
+    "WalError",
+    "RecoveryError",
     "FaultInjector",
     "RetryPolicy",
     "CircuitBreaker",
@@ -90,4 +103,9 @@ __all__ = [
     "ReferenceEngine",
     "Snapshot",
     "SnapshotManager",
+    "WriteAheadLog",
+    "CheckpointStore",
+    "RecoveryManager",
+    "ReplicatedLog",
+    "run_crash_recover",
 ]

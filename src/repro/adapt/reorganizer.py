@@ -12,10 +12,20 @@ Re-organization is **transactional**: the new fragments are built and
 filled off to the side, and the swap happens only after the migration
 completes and validates.  An interruption mid-migration — injected via
 the platform's :class:`~repro.faults.FaultInjector` at the
-``reorg.interrupt`` site, mirroring a crash or an operator kill —
+``reorg.interrupt`` site, mirroring an operator kill —
 frees every partially-built fragment, leaves the layout exactly as it
 was, charges the wasted partial copy, and re-raises
 :class:`~repro.errors.ReorganizationAborted`.
+
+When the calling context carries a write-ahead log (``ctx.wal``), the
+transaction is additionally **log-backed**: ``REORG_BEGIN`` is logged
+before the migration, ``REORG_END`` after the swap and ``REORG_ABORT``
+after an in-process rollback, so recovery can tell a completed
+re-organization from one the machine died inside.  That death is its
+own fault site — ``crash.during-reorg`` raises
+:class:`~repro.errors.EngineCrashed` mid-migration with *no* rollback
+(the process is gone; partial fragments vanish with it), leaving a
+dangling ``REORG_BEGIN`` for recovery's analysis pass to report.
 """
 
 from __future__ import annotations
@@ -23,9 +33,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.adapt.advisor import GroupProposal, LayoutProposal
-from repro.errors import LayoutError, ReorganizationAborted
+from repro.errors import EngineCrashed, LayoutError, ReorganizationAborted
 from repro.execution.context import ExecutionContext
-from repro.faults.injector import SITE_REORG_INTERRUPT
+from repro.faults.injector import SITE_CRASH_REORG, SITE_REORG_INTERRUPT
 from repro.hardware.memory import MemorySpace
 from repro.layout.fragment import Fragment
 from repro.layout.layout import Layout
@@ -90,11 +100,17 @@ def reorganize_layout(
     )
     injector = ctx.platform.injector if ctx is not None else None
     counters = ctx.counters if ctx is not None else None
+    wal = ctx.wal if ctx is not None else None
+    if wal is not None:
+        from repro.recovery.wal import LogRecordKind
+
+        wal.log_reorg(LogRecordKind.REORG_BEGIN, layout.name, ctx)
 
     try:
         if phantom:
             if injector is not None:
                 injector.check(SITE_REORG_INTERRUPT, counters)
+                injector.check(SITE_CRASH_REORG, counters)
             for fragment in new_fragments:
                 fragment.fill_phantom(relation.row_count)
         else:
@@ -104,6 +120,7 @@ def reorganize_layout(
             for row in range(relation.row_count):
                 if injector is not None:
                     injector.check(SITE_REORG_INTERRUPT, counters)
+                    injector.check(SITE_CRASH_REORG, counters)
                 values = layout.read_row(row)
                 for fragment in new_fragments:
                     fragment.append_rows(
@@ -114,6 +131,14 @@ def reorganize_layout(
                             )
                         ]
                     )
+    except EngineCrashed:
+        # The machine died: no rollback runs and no abort record is
+        # written — the partially-built fragments simply cease to exist
+        # with the process.  Recovery sees a REORG_BEGIN with no END
+        # and serves the pre-reorganization state from checkpoint+log.
+        for fragment in new_fragments:
+            fragment.free()
+        raise
     except ReorganizationAborted:
         # Roll back: the old fragments were never touched, so undoing
         # the transaction is freeing the partial copies.  The wasted
@@ -128,6 +153,10 @@ def reorganize_layout(
             )
             cost = 2 * ctx.platform.memory_model.sequential(int(wasted))
             ctx.charge(f"reorganize-aborted({relation.name})", cost)
+        if wal is not None:
+            from repro.recovery.wal import LogRecordKind
+
+            wal.log_reorg(LogRecordKind.REORG_ABORT, layout.name, ctx)
         raise
 
     if ctx is not None:
@@ -148,6 +177,10 @@ def reorganize_layout(
         raise
     for fragment in old_fragments:
         fragment.free()
+    if wal is not None:
+        from repro.recovery.wal import LogRecordKind
+
+        wal.log_reorg(LogRecordKind.REORG_END, layout.name, ctx)
     # The swap changed fragment geometry in place: memoized costings
     # keyed on the old fingerprints must not serve the new layout.
     invalidate_cost_cache()

@@ -557,5 +557,22 @@ class StorageEngine(abc.ABC):
             "re-organize layouts at runtime"
         )
 
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def on_recovered(self, name: str, ctx: ExecutionContext) -> bool:
+        """Epilogue hook after crash recovery replayed *name*'s log.
+
+        Called by :class:`~repro.recovery.RecoveryManager` once the
+        checkpoint image is loaded and redo/undo have run through the
+        ordinary write path.  Engines whose durability story involves
+        post-replay housekeeping override this — L-Store merges the
+        replayed tail records through its lineage, HyPer compacts the
+        redo-touched hot tail — and return True when they did work.
+        The default is a no-op: for most engines the replayed state
+        *is* the recovered state.
+        """
+        return False
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name})"

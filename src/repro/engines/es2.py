@@ -451,3 +451,26 @@ class ES2Engine(StorageEngine):
         cost = 2 * ctx.platform.memory_model.sequential(payload)
         ctx.charge(f"es2-readapt({name})", cost)
         return True
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def make_replicated_wal(self, name: str, group_commit: int = 4):
+        """A write-ahead log whose segments replicate into this DFS.
+
+        ES²'s durability row in Table 1 is cloud-shaped: the log is not
+        a local spindle but a replicated stream, so losing the writer
+        node still leaves a recoverable committed prefix.  Returns a
+        ``(WriteAheadLog, ReplicatedLog)`` pair wired together: every
+        group-commit flush ships the flushed segment into the engine's
+        :class:`~repro.distributed.dfs.BlockStore` at the store's
+        usual replication factor and network price.
+        """
+        from repro.recovery.replicated import ReplicatedLog
+        from repro.recovery.wal import WriteAheadLog
+
+        replicated = ReplicatedLog(self.dfs, name=name)
+        wal = WriteAheadLog(
+            self.platform, group_commit=group_commit, replicator=replicated.on_flush
+        )
+        return wal, replicated

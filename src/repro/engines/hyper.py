@@ -254,3 +254,14 @@ class HyperEngine(StorageEngine):
         if compacted:
             layout.validate()
         return compacted
+
+    def on_recovered(self, name: str, ctx: ExecutionContext) -> bool:
+        """Snapshot-based redo epilogue: compact the replayed tail.
+
+        HyPer recovers from a (checkpoint) snapshot plus its redo log;
+        the replayed updates land in hot chunks, which this hook
+        compacts into frozen mega-chunks so the recovered engine serves
+        scans at the same cost profile as before the crash.  A no-op
+        (False) when nothing is cold enough to compact.
+        """
+        return self.reorganize(name, ctx)

@@ -102,6 +102,30 @@ class ReorganizationAborted(ExecutionError):
     """
 
 
+class EngineCrashed(ReproError):
+    """The simulated process died: volatile state is gone.
+
+    Unlike the retryable execution errors, a crash cannot be absorbed by
+    an in-process policy — the run is over.  Durable state (the
+    write-ahead log's flushed prefix, checkpoints) survives; the
+    :mod:`repro.recovery` subsystem rebuilds an engine from it.  Crash
+    fault sites (``wal.torn-append``, ``crash.post-commit``,
+    ``crash.during-reorg``) raise this with ``injected = True``.
+    """
+
+
+class WalError(ReproError):
+    """The write-ahead log was misused (append after crash, bad config)."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a committed-prefix state.
+
+    Raised when the durable log has no complete checkpoint to start
+    from, or when replay meets a record the engine cannot apply.
+    """
+
+
 class PlacementError(ReproError):
     """A data placement decision could not be applied."""
 

@@ -18,6 +18,7 @@ from repro.execution.threading import SINGLE_THREADED, ThreadingPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.policy import RetryPolicy
+    from repro.recovery.wal import WriteAheadLog
 
 __all__ = ["ExecutionContext"]
 
@@ -43,6 +44,12 @@ class ExecutionContext:
         Optional :class:`~repro.faults.RetryPolicy` applied by
         fault-aware operators (device staging transfers); ``None``
         means transient failures propagate on first occurrence.
+    wal:
+        Optional :class:`~repro.recovery.WriteAheadLog` carried for
+        durability-aware components: the re-organizer logs its
+        begin/end/abort markers here when present, so a crash
+        mid-reorganization is visible to recovery.  ``None`` (the
+        default) means the run is not durable and nothing is logged.
     """
 
     platform: Platform
@@ -51,6 +58,7 @@ class ExecutionContext:
     breakdown: CostBreakdown = field(default_factory=CostBreakdown)
     call_overhead_cycles: Cycles = 20.0
     retry: "RetryPolicy | None" = None
+    wal: "WriteAheadLog | None" = None
 
     @property
     def cycles(self) -> Cycles:
@@ -89,10 +97,11 @@ class ExecutionContext:
         return "\n".join(lines)
 
     def fork(self) -> "ExecutionContext":
-        """A context sharing platform/policy but with fresh counters."""
+        """A context sharing platform/policy/log but with fresh counters."""
         return ExecutionContext(
             platform=self.platform,
             threading=self.threading,
             call_overhead_cycles=self.call_overhead_cycles,
             retry=self.retry,
+            wal=self.wal,
         )

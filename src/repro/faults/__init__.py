@@ -26,12 +26,15 @@ degradation chains each engine wires.
 from repro.faults.chaos import ChaosRunResult, run_query_stream
 from repro.faults.injector import (
     FAULT_SITES,
+    SITE_CRASH_POST_COMMIT,
+    SITE_CRASH_REORG,
     SITE_DEVICE_ALLOC,
     SITE_DFS_READ,
     SITE_KERNEL_LAUNCH,
     SITE_NODE_CRASH,
     SITE_PCIE_TRANSFER,
     SITE_REORG_INTERRUPT,
+    SITE_WAL_TORN_WRITE,
     FaultInjector,
     FaultSpec,
     register_fault_site,
@@ -53,6 +56,9 @@ __all__ = [
     "SITE_NODE_CRASH",
     "SITE_DFS_READ",
     "SITE_REORG_INTERRUPT",
+    "SITE_WAL_TORN_WRITE",
+    "SITE_CRASH_POST_COMMIT",
+    "SITE_CRASH_REORG",
     "register_fault_site",
     "FaultSpec",
     "FaultInjector",

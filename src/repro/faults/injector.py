@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Sequence, TypeVar
 from repro.errors import (
     DeviceError,
     DistributedError,
+    EngineCrashed,
     ExecutionError,
     ReorganizationAborted,
     ReproError,
@@ -46,6 +47,9 @@ __all__ = [
     "SITE_NODE_CRASH",
     "SITE_DFS_READ",
     "SITE_REORG_INTERRUPT",
+    "SITE_WAL_TORN_WRITE",
+    "SITE_CRASH_POST_COMMIT",
+    "SITE_CRASH_REORG",
     "FAULT_SITES",
     "register_fault_site",
     "FaultSpec",
@@ -75,6 +79,21 @@ SITE_DFS_READ = "dfs.block-read"
 #: mid-migration (raises :class:`~repro.errors.ReorganizationAborted`
 #: after the re-organizer rolls back).
 SITE_REORG_INTERRUPT = "reorg.interrupt"
+#: Torn log write: the machine dies mid-fsync, leaving the *last*
+#: record of the flushed batch torn.  Recovery's durable prefix stops
+#: just before the torn record (raises
+#: :class:`~repro.errors.EngineCrashed`).
+SITE_WAL_TORN_WRITE = "wal.torn-append"
+#: Post-commit crash: the machine dies right after a group-commit
+#: flush made a batch of commits durable, before the next checkpoint
+#: (raises :class:`~repro.errors.EngineCrashed`).
+SITE_CRASH_POST_COMMIT = "crash.post-commit"
+#: Crash during reorganization: the machine dies mid-migration — unlike
+#: ``reorg.interrupt`` there is no in-process rollback; the partial
+#: fragments simply vanish with the process and recovery restores the
+#: pre-reorganization layout from the log (raises
+#: :class:`~repro.errors.EngineCrashed`).
+SITE_CRASH_REORG = "crash.during-reorg"
 
 #: Registry of declared fault sites: name -> (description, error type).
 FAULT_SITES: dict[str, tuple[str, type[ReproError]]] = {
@@ -84,6 +103,9 @@ FAULT_SITES: dict[str, tuple[str, type[ReproError]]] = {
     SITE_NODE_CRASH: ("cluster node crash", DistributedError),
     SITE_DFS_READ: ("DFS block read error", DistributedError),
     SITE_REORG_INTERRUPT: ("re-organization interruption", ReorganizationAborted),
+    SITE_WAL_TORN_WRITE: ("torn write on the tail log record", EngineCrashed),
+    SITE_CRASH_POST_COMMIT: ("crash after commit, before checkpoint", EngineCrashed),
+    SITE_CRASH_REORG: ("crash mid-reorganization, no rollback", EngineCrashed),
 }
 
 
@@ -171,8 +193,28 @@ class FaultInjector:
     def arm(
         self, site: str, probability: float, max_faults: int | None = None
     ) -> "FaultInjector":
-        """Arm *site* with a per-check probability (chainable)."""
+        """Arm *site* with a per-check probability (chainable).
+
+        Arming a site that is already armed is rejected: a silent
+        overwrite would discard the first schedule's fire counter and
+        quietly change the RNG consumption pattern, breaking the
+        (seed, schedule) -> fault-sequence determinism contract.  Call
+        :meth:`disarm` first to re-arm deliberately.
+        """
+        existing = self.specs.get(site)
+        if existing is not None:
+            raise ExecutionError(
+                f"fault site {site!r} is already armed "
+                f"(probability={existing.probability}, "
+                f"max_faults={existing.max_faults}, fired={existing.fired}); "
+                "disarm() it before re-arming"
+            )
         self.specs[site] = FaultSpec(site, probability, max_faults)
+        return self
+
+    def disarm(self, site: str) -> "FaultInjector":
+        """Remove *site* from the schedule (chainable; unknown = no-op)."""
+        self.specs.pop(site, None)
         return self
 
     def arm_all(

@@ -15,6 +15,15 @@ one of four outcomes —
 chaos run — the invariant the chaos harness asserts.  The report also
 counts degraded-path queries (queries not served by their preferred
 path) so bounded-degradation claims are checkable.
+
+Crash recovery (:mod:`repro.recovery`) extends the **recovered**
+outcome: an injected crash counts as recovered once the recovery
+manager has rebuilt the engine to the committed prefix.  The work that
+absorption took is tallied separately — ``replayed_txns`` (committed
+transactions whose effects were re-applied from the log) and
+``recovery_cycles`` (the full analysis/redo/undo charge) — so the
+accounting invariant still balances while the *cost* of recovering
+stays visible, exactly as ``backoff_cycles`` does for retries.
 """
 
 from __future__ import annotations
@@ -36,6 +45,8 @@ class ResilienceReport:
     retry_attempts: int = 0
     backoff_cycles: float = 0.0
     degraded_queries: int = 0
+    replayed_txns: int = 0
+    recovery_cycles: float = 0.0
 
     # ------------------------------------------------------------------
     # Recording (called by the injector and the policies)
@@ -63,6 +74,14 @@ class ResilienceReport:
     def record_degraded_query(self) -> None:
         """Tally one query served by a non-preferred path."""
         self.degraded_queries += 1
+
+    def record_replayed(self, count: int = 1) -> None:
+        """Tally *count* committed transactions re-applied by recovery."""
+        self.replayed_txns += count
+
+    def record_recovery_cycles(self, cycles: float) -> None:
+        """Tally cycles spent inside a recovery pass (analysis/redo/undo)."""
+        self.recovery_cycles += cycles
 
     # ------------------------------------------------------------------
     # Invariants & rendering
@@ -97,6 +116,8 @@ class ResilienceReport:
             retry_attempts=self.retry_attempts,
             backoff_cycles=self.backoff_cycles,
             degraded_queries=self.degraded_queries,
+            replayed_txns=self.replayed_txns,
+            recovery_cycles=self.recovery_cycles,
         )
         return out
 
@@ -117,4 +138,6 @@ class ResilienceReport:
         lines.append(f"  retry attempts       {self.retry_attempts:6d}")
         lines.append(f"  backoff cycles       {self.backoff_cycles:14.1f}")
         lines.append(f"  degraded queries     {self.degraded_queries:6d}")
+        lines.append(f"  replayed txns        {self.replayed_txns:6d}")
+        lines.append(f"  recovery cycles      {self.recovery_cycles:14.1f}")
         return "\n".join(lines)

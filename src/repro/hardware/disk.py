@@ -61,3 +61,44 @@ class DiskModel:
             counters.cycles += cost
             counters.bytes_read += nbytes
         return cost
+
+    def sequential_write_cost(
+        self, nbytes: int, counters: PerfCounters | None = None
+    ) -> Cycles:
+        """A sequential write: one seek amortized over the whole stream.
+
+        The spindle is symmetric — writes stream at the same bandwidth
+        as reads — so this mirrors :meth:`sequential_read_cost` but
+        tallies ``bytes_written``.  Used by checkpoint images and log
+        segment writes.
+        """
+        if nbytes < 0:
+            raise StorageError(f"write size must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        seconds = self.seek_s + nbytes / self.bandwidth
+        cost = seconds * self.host_frequency_hz
+        if counters is not None:
+            counters.cycles += cost
+            counters.bytes_written += nbytes
+        return cost
+
+    def fsync_cost(
+        self, nbytes: int, counters: PerfCounters | None = None
+    ) -> Cycles:
+        """Force *nbytes* of buffered log tail to stable storage.
+
+        One seek (the log head is its own cylinder, but the platter
+        still has to come around) plus the streamed payload.  This is
+        the price a write-ahead log pays per group-commit flush — the
+        reason group commit exists: the seek is paid once per *batch*
+        of commits, not once per transaction.
+        """
+        if nbytes < 0:
+            raise StorageError(f"fsync size must be >= 0, got {nbytes}")
+        seconds = self.seek_s + nbytes / self.bandwidth
+        cost = seconds * self.host_frequency_hz
+        if counters is not None:
+            counters.cycles += cost
+            counters.bytes_written += nbytes
+        return cost

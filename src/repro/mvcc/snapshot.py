@@ -70,7 +70,17 @@ class Snapshot:
         return not self._released
 
     def release(self) -> None:
-        """Drop the snapshot: pre-images are freed, faults stop."""
+        """Drop the snapshot: pre-images are freed, faults stop.
+
+        Idempotent: releasing an already-released snapshot is a no-op —
+        no error, no second cycle charge, no double-free.  Recovery
+        teardown sweeps every snapshot it can reach
+        (:meth:`SnapshotManager.release_all`) without knowing which
+        ones the crashed run already dropped, so double releases are
+        the *normal* case there, not a bug.
+        """
+        if self._released:
+            return
         self._released = True
         self._preimages.clear()
         self.manager._forget(self)
@@ -161,6 +171,19 @@ class SnapshotManager:
 
     def _forget(self, snapshot: Snapshot) -> None:
         self._live = [s for s in self._live if s is not snapshot]
+
+    def release_all(self) -> int:
+        """Release every live snapshot (recovery teardown sweep).
+
+        Returns the number of snapshots actually released.  Safe to
+        call repeatedly and to interleave with individual
+        :meth:`Snapshot.release` calls — release is idempotent.
+        """
+        released = 0
+        for snapshot in list(self._live):
+            snapshot.release()
+            released += 1
+        return released
 
     # ------------------------------------------------------------------
     def fork(self, ctx: ExecutionContext) -> Snapshot:

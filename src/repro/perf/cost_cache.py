@@ -20,10 +20,14 @@ identical inputs over and over.  Those costings are pure functions of
   and never written: a faulted run must re-execute every operator so
   the injector observes every check (and its RNG draws stay a pure
   function of the workload).
-* **Invalidation on reorganization** — a layout swap changes fragment
-  geometry in place, so
+* **Invalidation on reorganization and recovery** — a layout swap
+  changes fragment geometry in place, so
   :func:`repro.adapt.reorganizer.reorganize_layout` calls
-  :meth:`CostCache.invalidate` after every successful swap.
+  :meth:`CostCache.invalidate` after every successful swap; and a
+  recovered engine's layouts are rebuilt from checkpoint + log replay,
+  so :meth:`repro.recovery.RecoveryManager.recover` invalidates after
+  every replay for the same reason — memoized costings keyed on
+  pre-crash geometry must not serve the recovered layout.
 
 The default process-wide cache is reachable via
 :func:`active_cost_cache`; tests scope it with
@@ -136,7 +140,7 @@ def cost_cache_disabled() -> Iterator[None]:
 
 
 def invalidate_cost_cache() -> None:
-    """Invalidate the active cache, if any (reorganization hook)."""
+    """Invalidate the active cache, if any (reorganization/recovery hook)."""
     if _ACTIVE is not None:
         _ACTIVE.invalidate()
 

@@ -111,6 +111,24 @@ class TestInjection:
         injector = FaultInjector(seed=1).arm_all(0.2)
         assert set(injector.specs) == set(FAULT_SITES)
 
+    def test_duplicate_arm_rejected(self):
+        """Re-arming silently overwrote the schedule before; now it errors."""
+        injector = FaultInjector(seed=1).arm(SITE_PCIE_TRANSFER, 0.3)
+        with pytest.raises(ExecutionError, match="already armed"):
+            injector.arm(SITE_PCIE_TRANSFER, 0.9)
+        # The original schedule survives the rejected re-arm.
+        assert injector.specs[SITE_PCIE_TRANSFER].probability == 0.3
+
+    def test_disarm_then_rearm(self):
+        injector = FaultInjector(seed=1).arm(SITE_PCIE_TRANSFER, 0.3)
+        injector.disarm(SITE_PCIE_TRANSFER)
+        assert not injector.armed
+        injector.arm(SITE_PCIE_TRANSFER, 0.9)
+        assert injector.specs[SITE_PCIE_TRANSFER].probability == 0.9
+
+    def test_disarm_unknown_site_is_noop(self):
+        FaultInjector(seed=1).disarm("never.armed.site")
+
     def test_choice_is_deterministic(self):
         options = ["a", "b", "c", "d"]
         picks_one = [FaultInjector(seed=4).choice(options) for _ in range(1)]

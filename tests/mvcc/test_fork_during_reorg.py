@@ -1,0 +1,159 @@
+"""Fork-during-reorganization: snapshots must never see a torn layout.
+
+The dangerous interleaving: an analytic snapshot forks, OLTP writes
+keep CoW-preserving pre-images, and then the re-organizer swaps the
+layout's fragments — sometimes successfully, sometimes aborted by an
+injected interruption.  The invariant under chaos: the snapshot
+observes either the **old** state (its exact at-fork view, served from
+pre-images over the pre-reorg fragments) or the **new** state (the
+post-swap fragments' complete, migrated contents — pre-images keyed on
+the freed fragments are orphaned by design), and *never* a torn mix of
+the two.
+
+Seeded like the chaos suite: set ``CHAOS_SEED`` to reproduce a CI
+schedule locally (docs/RESILIENCE.md).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.adapt.advisor import GroupProposal, LayoutProposal
+from repro.adapt.reorganizer import reorganize_layout
+from repro.errors import ReorganizationAborted
+from repro.execution import ExecutionContext
+from repro.execution.operators import update_field
+from repro.faults import SITE_REORG_INTERRUPT, FaultInjector
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import LinearizationKind
+from repro.layout.partitioning import one_region_per_attribute
+from repro.model.datatypes import FLOAT64, INT64
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+from repro.mvcc import SnapshotManager
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "5"))
+ROWS = 800
+ATTEMPTS = 8
+
+
+def build_layout(platform):
+    """A two-column DSM layout with recognizable per-row values."""
+    relation = Relation("t", Schema.of(("id", INT64), ("price", FLOAT64)), ROWS)
+    fragments = []
+    for region in one_region_per_attribute(relation):
+        fragment = Fragment(region, relation.schema, None, platform.host_memory)
+        name = region.attributes[0]
+        values = np.arange(ROWS, dtype=np.float64 if name == "price" else np.int64)
+        fragment.append_columns({name: values})
+        fragments.append(fragment)
+    return Layout("t", relation, fragments)
+
+
+def nsm_proposal():
+    """Propose regrouping both columns into one fat NSM fragment."""
+    return LayoutProposal(
+        groups=(GroupProposal(("id", "price"), LinearizationKind.NSM),),
+        estimated_cycles=0.0,
+    )
+
+
+def dsm_proposal():
+    """Propose splitting back into one thin fragment per column."""
+    return LayoutProposal(
+        groups=(GroupProposal(("id", "price"), LinearizationKind.DIRECT),),
+        estimated_cycles=0.0,
+    )
+
+
+def checked_update(manager, layout, position, value, ctx):
+    manager.before_update(position, "price", ctx)
+    update_field(layout, position, "price", value, ctx)
+
+
+def test_fork_during_reorg_never_observes_torn_mix(platform):
+    """Chaos regression: old view XOR new view, across a seeded schedule.
+
+    Each attempt forks a snapshot, writes through CoW (so the at-fork
+    and post-reorg views genuinely differ), then attempts a
+    re-organization under an armed ``reorg.interrupt`` site.  Aborted
+    swap -> the snapshot must equal its at-fork view exactly; completed
+    swap -> the snapshot must equal the new fragments' complete view.
+    """
+    ctx = ExecutionContext(platform)
+    layout = build_layout(platform)
+    manager = SnapshotManager(layout)
+    # Per-row check over 800 migrated rows: p=0.0005 lands each attempt
+    # at roughly one-in-three abort odds, so the seeded schedule (5, 23,
+    # 101 in CI) exercises both arms of the invariant.
+    injector = FaultInjector(seed=CHAOS_SEED).arm(SITE_REORG_INTERRUPT, 0.0005)
+    injector.install(platform)
+    aborted_runs = 0
+    completed_runs = 0
+
+    for attempt in range(ATTEMPTS):
+        snapshot = manager.fork(ctx)
+        at_fork_view = {
+            "id": np.array(snapshot.column("id"), copy=True),
+            "price": np.array(snapshot.column("price"), copy=True),
+        }
+        # Post-fork writes: CoW preserves the at-fork values above.
+        for position in range(0, ROWS, 37):
+            checked_update(
+                manager, layout, position, float(1000 * (attempt + 1)), ctx
+            )
+        proposal = nsm_proposal() if attempt % 2 == 0 else dsm_proposal()
+        try:
+            reorganize_layout(layout, proposal, platform.host_memory, ctx)
+        except ReorganizationAborted:
+            aborted_runs += 1
+            # Old layout intact: snapshot serves its exact at-fork view.
+            for name, expected in at_fork_view.items():
+                np.testing.assert_array_equal(snapshot.column(name), expected)
+        else:
+            completed_runs += 1
+            # Swap happened: pre-images keyed on the freed fragments are
+            # orphaned, so the snapshot serves the new fragments'
+            # complete migrated contents — the post-write values.
+            new_view = {
+                name: np.concatenate(
+                    [
+                        np.array(fragment.column(name), copy=True)
+                        for fragment in layout.fragments_for_attribute(name)
+                    ]
+                )
+                for name in ("id", "price")
+            }
+            for name in ("id", "price"):
+                observed = snapshot.column(name)
+                np.testing.assert_array_equal(observed, new_view[name])
+                # ... and it is NOT the at-fork view (the writes above
+                # guarantee the two candidate views differ on price).
+                if name == "price":
+                    assert not np.array_equal(observed, at_fork_view[name])
+        snapshot.release()
+
+    # The seeded schedule must exercise both arms or the test is vacuous.
+    assert aborted_runs > 0, "chaos schedule never aborted a reorganization"
+    assert completed_runs > 0, "chaos schedule never completed a reorganization"
+
+
+@pytest.mark.parametrize("seed", [5, 23, 101])
+def test_abort_preserves_at_fork_view_exactly(platform, seed):
+    """Deterministic exactly-once abort: byte-identical at-fork view."""
+    ctx = ExecutionContext(platform)
+    layout = build_layout(platform)
+    manager = SnapshotManager(layout)
+    FaultInjector(seed=seed).arm(
+        SITE_REORG_INTERRUPT, 1.0, max_faults=1
+    ).install(platform)
+    snapshot = manager.fork(ctx)
+    before = np.array(snapshot.column("price"), copy=True)
+    checked_update(manager, layout, 3, -99.0, ctx)
+    with pytest.raises(ReorganizationAborted):
+        reorganize_layout(layout, nsm_proposal(), platform.host_memory, ctx)
+    np.testing.assert_array_equal(snapshot.column("price"), before)
+    # The interrupted migration left no partial fragment behind.
+    assert all(fragment.filled == ROWS for fragment in layout.fragments)

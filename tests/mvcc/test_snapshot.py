@@ -103,6 +103,29 @@ class TestLifecycle:
         with pytest.raises(TransactionError):
             snapshot.sum("price", ctx)
 
+    def test_double_release_is_idempotent(self, layout, platform, ctx):
+        """Recovery teardown sweeps blindly: double release must be free."""
+        manager = SnapshotManager(layout)
+        snapshot = manager.fork(ctx)
+        checked_update(manager, layout, 7, "price", 0.0, ctx)
+        cycles_before = ctx.counters.cycles
+        snapshot.release()
+        snapshot.release()  # must not raise, charge, or double-free
+        snapshot.release()
+        assert ctx.counters.cycles == cycles_before
+        assert manager.live_snapshots == ()
+        assert not snapshot.is_live
+
+    def test_release_all_sweeps_everything(self, layout, platform, ctx):
+        manager = SnapshotManager(layout)
+        first = manager.fork(ctx)
+        second = manager.fork(ctx)
+        first.release()  # individually released before the sweep
+        assert manager.release_all() == 1  # only `second` was still live
+        assert manager.live_snapshots == ()
+        assert not second.is_live
+        assert manager.release_all() == 0  # sweep twice: still fine
+
 
 class TestCosts:
     def test_fork_is_proportional_to_pages_not_bytes_copied(self, layout, platform):
