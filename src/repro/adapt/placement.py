@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.adapt.statistics import AttributeStatistics
 from repro.errors import PlacementError
 from repro.execution.context import ExecutionContext
-from repro.execution.device import transfer_fragment
+from repro.execution.device import ensure_resident
 from repro.hardware.memory import MemoryKind, MemorySpace
 from repro.layout.fragment import Fragment
 from repro.layout.layout import Layout
@@ -70,7 +70,7 @@ class AllOrNothingPlacement:
                 f"fallback: {fragment.nbytes} B exceed free device memory "
                 f"({self.device.available} B)",
             )
-        replica = transfer_fragment(fragment, self.device, ctx)
+        replica = ensure_resident(fragment, self.device, ctx)
         layout.remove_fragment(fragment)
         layout.replace_fragments([replica, *layout.fragments, fragment])
         return PlacementDecision(fragment.label, True, "placed on device")

@@ -182,5 +182,8 @@ def reorganize_layout(
 
         wal.log_reorg(LogRecordKind.REORG_END, layout.name, ctx)
     # The swap changed fragment geometry in place: memoized costings
-    # keyed on the old fingerprints must not serve the new layout.
+    # keyed on the old fingerprints must not serve the new layout, and
+    # device replicas staged from the old fragments must not serve reads.
     invalidate_cost_cache()
+    if ctx is not None:
+        ctx.platform.staging.invalidate_all()

@@ -26,6 +26,11 @@ A2f — fault-probability extension of A2: on a link fast enough for the
      device to win cleanly, how much PCIe unreliability (injected
      transfer faults, absorbed by retries and host fallbacks) does it
      take before the CPU-only plan wins end to end?
+A9 — staging cache: device-cycle totals and hit rates for an HTAP mix
+     as a function of the staging-cache capacity, across OLTP shares —
+     how much repeated-OLAP PCIe traffic the
+     :mod:`repro.staging` layer removes, and how quickly transactional
+     writes (which invalidate staged replicas) erode the benefit.
 """
 
 from __future__ import annotations
@@ -67,6 +72,7 @@ __all__ = [
     "snapshot_isolation_sweep",
     "compression_sweep",
     "machine_era_sweep",
+    "staging_cache_sweep",
     "SweepSpec",
     "SWEEPS",
 ]
@@ -565,6 +571,88 @@ def machine_era_sweep(row_count: int = 20_000_000) -> list[SweepPoint]:
     return points
 
 
+def _materialized_column_store(platform: Platform, row_count: int) -> Layout:
+    """A filled (non-phantom) item column store — point updates need payload."""
+    relation = item_relation(row_count)
+    columns = generate_items(row_count)
+    fragments = []
+    for name in relation.schema.names:
+        fragment = Fragment(
+            Region(relation.rows, (name,)),
+            relation.schema,
+            None,
+            platform.host_memory,
+            label=f"item/{name}",
+        )
+        fragment.append_columns({name: columns[name]})
+        fragments.append(fragment)
+    return Layout("item/column-store", relation, fragments)
+
+
+def staging_cache_sweep(
+    capacity_fractions: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0),
+    oltp_fractions: tuple[float, ...] = (0.0, 0.25, 0.5),
+    row_count: int = 200_000,
+    queries: int = 32,
+) -> list[SweepPoint]:
+    """A9: HTAP device cost vs. staging-cache capacity, across OLTP shares.
+
+    The knob is the staging-cache capacity as a fraction of the OLAP
+    working set (the numeric columns the mix aggregates).  For each
+    capacity x OLTP-share cell, one :class:`~repro.workload.htap.HTAPMix`
+    stream runs against a materialized item column store: ``FULL_SUM``
+    queries go to the device with transfers charged (and therefore
+    through the staging cache), point updates go through
+    :func:`~repro.execution.operators.update_field` (invalidating any
+    staged replica of the touched fragment), point materializations
+    stay on the host.  Reported per cell: whole-stream simulated
+    milliseconds, the staging hit rate, and PCIe megabytes moved.
+    """
+    from repro.execution.operators import update_field
+    from repro.workload.htap import HTAPMix
+    from repro.workload.queries import QueryShape
+
+    points = []
+    for fraction in capacity_fractions:
+        outcomes: dict[str, float] = {}
+        for oltp_fraction in oltp_fractions:
+            platform = Platform.paper_testbed()
+            store = _materialized_column_store(platform, row_count)
+            relation = store.relation
+            working_set = sum(
+                fragment.nbytes
+                for fragment in store.fragments
+                if fragment.schema.attribute(
+                    fragment.region.attributes[0]
+                ).dtype.numpy_dtype().kind in ("i", "f")
+            )
+            platform.staging.capacity_bytes = int(fraction * working_set)
+            mix = HTAPMix(relation, oltp_fraction=oltp_fraction, seed=97)
+            ctx = ExecutionContext(platform)
+            for spec in mix.queries(queries):
+                if spec.shape is QueryShape.FULL_SUM:
+                    device_sum_column(
+                        store, spec.attributes[0], ctx, charge_transfer=True
+                    )
+                elif spec.shape is QueryShape.POINT_UPDATE:
+                    position = spec.positions[0]
+                    update_field(
+                        store, position, spec.attributes[0], position % 97, ctx
+                    )
+                else:
+                    materialize_rows(store, list(spec.positions), ctx)
+            counters = ctx.counters
+            lookups = counters.staging_hits + counters.staging_misses
+            suffix = f"oltp{oltp_fraction:g}"
+            outcomes[f"ms_{suffix}"] = platform.seconds(ctx.cycles) * 1e3
+            outcomes[f"hit_rate_{suffix}"] = (
+                counters.staging_hits / lookups if lookups else 0.0
+            )
+            outcomes[f"pcie_mb_{suffix}"] = counters.pcie_bytes / 1e6
+        points.append(SweepPoint(knob=fraction, outcomes=outcomes))
+    return points
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """A registry entry describing one ablation sweep to the sweep runner.
@@ -678,6 +766,17 @@ SWEEPS: dict[str, SweepSpec] = {
             "machine_era",
             machine_era_sweep,
             smoke_kwargs={"row_count": 2_000_000},
+        ),
+        SweepSpec(
+            "staging_cache",
+            staging_cache_sweep,
+            grid_kwarg="capacity_fractions",
+            smoke_kwargs={
+                "capacity_fractions": (0.0, 2.0),
+                "oltp_fractions": (0.0, 0.5),
+                "row_count": 50_000,
+                "queries": 12,
+            },
         ),
     )
 }

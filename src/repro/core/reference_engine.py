@@ -395,6 +395,9 @@ class ReferenceEngine(StorageEngine):
         changed = False
         if delta_tiles:
             self._unplace_all(name)
+            # The merge rewrites every main column in place; any staged
+            # device replicas of the old fragments are now stale.
+            ctx.platform.staging.invalidate_all()
             schema = relation.schema
             old_columns = [
                 fragment
@@ -432,7 +435,7 @@ class ReferenceEngine(StorageEngine):
                 replica_bytes = relation.row_count * relation.schema.attribute(
                     attribute
                 ).width
-                cost = ctx.platform.interconnect.transfer_cost(
+                cost = ctx.platform.staging.scheduler.transfer(
                     replica_bytes, ctx.counters
                 )
                 ctx.note(f"ref-place({attribute})", cost)

@@ -41,6 +41,7 @@ from repro.execution.context import ExecutionContext
 from repro.execution.device import (
     device_count_where,
     device_sum_column,
+    ensure_resident,
     is_device_resident,
 )
 from repro.faults.policy import (
@@ -76,22 +77,53 @@ class HypeScheduler:
     gpu_calibration: float = 1.0
     decisions: list[str] = field(default_factory=list)
 
-    def raw_predict_sum(self, count: int, width: int, on_device: bool) -> tuple[float, float]:
-        """Uncalibrated (cpu_cycles, gpu_cycles) model predictions."""
+    def raw_predict_sum(
+        self,
+        count: int,
+        width: int,
+        on_device: bool,
+        fragment: Fragment | None = None,
+        attribute: str | None = None,
+    ) -> tuple[float, float]:
+        """Uncalibrated (cpu_cycles, gpu_cycles) model predictions.
+
+        When the column's *fragment* and *attribute* are given, the
+        transfer term is cache-aware: a column with a fresh replica in
+        the staging cache (``platform.staging``) is predicted to pay no
+        PCIe — the device looks exactly as cheap as it will actually be
+        on the warm path.  Predictions stay side-effect-free (no cache
+        stats, no fault draws).
+        """
         cpu = self.platform.memory_model.sequential(count * width) + count
         gpu = self.platform.gpu.reduction_cost(count, width)
         if not on_device:
-            gpu += self.platform.interconnect.transfer_cost(count * width)
+            gpu += self.platform.staging.predicted_transfer_cost(
+                count * width, fragment, attribute
+            )
         return cpu, gpu
 
-    def predict_sum(self, count: int, width: int, on_device: bool) -> tuple[float, float]:
+    def predict_sum(
+        self,
+        count: int,
+        width: int,
+        on_device: bool,
+        fragment: Fragment | None = None,
+        attribute: str | None = None,
+    ) -> tuple[float, float]:
         """Calibrated (cpu_cycles, gpu_cycles) predictions for a column sum."""
-        cpu, gpu = self.raw_predict_sum(count, width, on_device)
+        cpu, gpu = self.raw_predict_sum(count, width, on_device, fragment, attribute)
         return cpu * self.cpu_calibration, gpu * self.gpu_calibration
 
-    def choose_sum_device(self, count: int, width: int, on_device: bool) -> str:
+    def choose_sum_device(
+        self,
+        count: int,
+        width: int,
+        on_device: bool,
+        fragment: Fragment | None = None,
+        attribute: str | None = None,
+    ) -> str:
         """'cpu' or 'gpu', whichever the calibrated prediction favors."""
-        cpu, gpu = self.predict_sum(count, width, on_device)
+        cpu, gpu = self.predict_sum(count, width, on_device, fragment, attribute)
         choice = "gpu" if gpu < cpu else "cpu"
         self.decisions.append(choice)
         return choice
@@ -232,13 +264,9 @@ class CoGaDBEngine(StorageEngine):
                     )
                 )
                 continue
-            replica = host_fragment.copy_to(
-                device, f"cogadb:{name}:{attribute}@device"
+            replica = ensure_resident(
+                host_fragment, device, ctx, f"cogadb:{name}:{attribute}@device"
             )
-            cost = ctx.platform.interconnect.transfer_cost(
-                host_fragment.nbytes, ctx.counters
-            )
-            ctx.note(f"cogadb-place({attribute})", cost)
             mixed.replace_fragments(
                 [replica]
                 + [f for f in mixed.fragments if f is not host_fragment]
@@ -262,9 +290,11 @@ class CoGaDBEngine(StorageEngine):
         count = managed.relation.row_count
         before = ctx.counters.cycles
         cpu_prediction, gpu_prediction = self.scheduler.raw_predict_sum(
-            count, width, on_device
+            count, width, on_device, fragment, attribute
         )
-        choice = self.scheduler.choose_sum_device(count, width, on_device)
+        choice = self.scheduler.choose_sum_device(
+            count, width, on_device, fragment, attribute
+        )
         host_layout = managed.layouts[1]
         if choice == "gpu":
             # A single-fragment view: the mixed layout holds both the
@@ -314,7 +344,9 @@ class CoGaDBEngine(StorageEngine):
         on_device = is_device_resident(fragment)
         width = fragment.schema.attribute(attribute).width
         count = managed.relation.row_count
-        choice = self.scheduler.choose_sum_device(count, width, on_device)
+        choice = self.scheduler.choose_sum_device(
+            count, width, on_device, fragment, attribute
+        )
         from repro.execution.bulk import bulk_count_where
 
         host_layout = managed.layouts[1]

@@ -196,7 +196,7 @@ class GpuTxEngine(StorageEngine):
         waves = self.plan_waves(transactions)
         results: list[Any] = [None] * len(transactions)
         count = len(transactions)
-        params = ctx.platform.interconnect.transfer_cost(
+        params = ctx.platform.staging.scheduler.transfer(
             count * TX_PARAM_BYTES, ctx.counters
         )
         ctx.note("gputx-params", params)
@@ -243,7 +243,7 @@ class GpuTxEngine(StorageEngine):
                 f"{self.name}: {result_bytes} B of results exceed the "
                 f"{self.result_pool.size} B result pool"
             )
-        pool = ctx.platform.interconnect.transfer_cost(result_bytes, ctx.counters)
+        pool = ctx.platform.staging.scheduler.transfer(result_bytes, ctx.counters)
         ctx.note("gputx-results", pool)
         return results
 

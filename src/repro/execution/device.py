@@ -6,11 +6,22 @@ parallel reduction (>= 1024 blocks x 512 threads, final pass 1 block x
 or not — depending on whether the column is already device-resident
 (Figure 2, panels 3 vs. 4).
 
+Host-resident columns are served through the platform's
+:class:`~repro.staging.StagingManager` (``platform.staging``): a repeat
+query finds its device replica in the staging cache and pays no PCIe at
+all, a miss stages the column in one coalesced burst, and a column that
+cannot fit even after evicting every cached replica falls back to the
+historical bounce-buffer streaming path — whose charges are
+byte-identical to the pre-cache code, so a cold cache reproduces the
+old cost sequence exactly.
+
 Resilience: staging transfers are retried under the context's
-:class:`~repro.faults.RetryPolicy`, injected device-OOM is surfaced as
-:class:`~repro.errors.DeviceError`, and any fault that survives the
-retries propagates so the calling engine's fallback chain can degrade
-to the host path (recording which path actually served the query).
+:class:`~repro.faults.RetryPolicy`, injected device-OOM is absorbed by
+evicting staged replicas (surfacing as
+:class:`~repro.errors.DeviceError` only when the cache has nothing to
+give back), and any fault that survives the retries propagates so the
+calling engine's fallback chain can degrade to the host path (recording
+which path actually served the query).
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ import math
 
 from repro.errors import CapacityError, ExecutionError, PlacementError
 from repro.execution.context import ExecutionContext
-from repro.faults.injector import SITE_DEVICE_ALLOC
+from repro.faults.injector import SITE_PCIE_TRANSFER
 from repro.hardware.event import Cycles, PerfCounters
 from repro.hardware.memory import MemoryKind, MemorySpace
 from repro.layout.fragment import Fragment
@@ -31,6 +42,7 @@ __all__ = [
     "device_sum_column",
     "device_count_where",
     "transfer_fragment",
+    "ensure_resident",
     "is_device_resident",
 ]
 
@@ -46,8 +58,10 @@ def _staging_transfer(
     Every attempt — failed ones included — charges its wire time, so
     resilience is visible in the measured cycle count.
     """
+    scheduler = ctx.platform.staging.scheduler
+
     def attempt() -> Cycles:
-        return ctx.platform.interconnect.transfer_cost(staged_bytes, ctx.counters)
+        return scheduler.transfer(staged_bytes, ctx.counters)
 
     if ctx.retry is not None:
         return ctx.retry.run(f"pcie-transfer({attribute})", attempt, ctx)
@@ -65,16 +79,35 @@ def transfer_fragment(
     """Copy a fragment into *space*, charging the PCIe transfer.
 
     Raises :class:`~repro.errors.CapacityError` when the target space
-    cannot hold it — the trigger of CoGaDB's all-or-nothing fallback.
+    cannot hold it — the trigger of CoGaDB's all-or-nothing fallback —
+    and :class:`~repro.errors.PlacementError` when the fragment already
+    lives there (use :func:`ensure_resident` for the idempotent form).
     """
     if fragment.space is space:
         raise PlacementError(
             f"{fragment.label}: already resident in {space.name}"
         )
     clone = fragment.copy_to(space, label)
-    cost = ctx.platform.interconnect.transfer_cost(fragment.nbytes, ctx.counters)
+    cost = ctx.platform.staging.scheduler.transfer(fragment.nbytes, ctx.counters)
     ctx.note(f"transfer({fragment.label})", cost)
     return clone
+
+
+def ensure_resident(
+    fragment: Fragment, space: MemorySpace, ctx: ExecutionContext, label: str = ""
+) -> Fragment:
+    """Idempotent placement: the fragment in *space*, transferring if needed.
+
+    Returns *fragment* unchanged (and charges nothing) when it already
+    lives in *space*; otherwise behaves exactly like
+    :func:`transfer_fragment`.  This is the helper engines deduplicate
+    their copy-then-charge sequences onto — re-placing an
+    already-placed column is a no-op, not a
+    :class:`~repro.errors.PlacementError`.
+    """
+    if fragment.space is space:
+        return fragment
+    return transfer_fragment(fragment, space, ctx, label)
 
 
 def _chunked_reduction_cost(
@@ -122,6 +155,65 @@ def _seeded_sum(seed: float, values: list[float]) -> float:
     return float(accumulator[-1])
 
 
+def _even_split(total: int, parts: int) -> list[int]:
+    """Split *total* bytes into *parts* near-equal positive chunks."""
+    base, extra = divmod(total, parts)
+    return [base + 1] * extra + [base] * (parts - extra)
+
+
+def _overlapped_staging(
+    ctx: ExecutionContext,
+    attribute: str,
+    staged_bytes: int,
+    count: int,
+    chunks: int,
+    width: int,
+) -> Cycles:
+    """Charge a double-buffered chunked staging loop (overlap model).
+
+    Chunk *i*'s kernel runs while chunk *i+1* is in flight, so the
+    total is the pipelined critical path instead of transfer + kernel
+    serially; the hidden cycles are tallied in ``overlapped_cycles``.
+    Returns the kernel portion's serial cost for the breakdown (the
+    transfer portion is reported under ``overlapped-staging``).
+    """
+    platform = ctx.platform
+    scheduler = platform.staging.scheduler
+    per_chunk = math.ceil(count / chunks)
+    kernel_parts = platform.gpu.chunk_reduction_costs(count, per_chunk, width)
+    n = len(kernel_parts)
+    sizes = _even_split(staged_bytes, n)
+    interconnect = platform.interconnect
+    transfer_parts = [
+        interconnect.transfer_seconds(size) * interconnect.host_frequency_hz
+        for size in sizes
+    ]
+    kernel_costs = [cost for cost, _, _ in kernel_parts]
+    total, savings = scheduler.pipeline_cost(transfer_parts, kernel_costs)
+
+    def attempt() -> Cycles:
+        # Wire time and kernel time are interleaved on the critical
+        # path, so the whole pipelined charge lands per attempt.
+        ctx.counters.cycles += total
+        if platform.injector is not None:
+            platform.injector.check(SITE_PCIE_TRANSFER, ctx.counters)
+        return total
+
+    if ctx.retry is not None:
+        ctx.retry.run(f"pcie-transfer({attribute})", attempt, ctx)
+    else:
+        attempt()
+    counters = ctx.counters
+    counters.bytes_transferred += staged_bytes
+    counters.pcie_bytes += staged_bytes
+    counters.transfers += n
+    counters.overlapped_cycles += savings
+    counters.device_cycles += sum(part for _, part, _ in kernel_parts)
+    counters.kernel_launches += sum(launches for _, _, launches in kernel_parts)
+    ctx.note("overlapped-staging", total)
+    return total
+
+
 def device_sum_column(
     layout: Layout,
     attribute: str,
@@ -133,58 +225,85 @@ def device_sum_column(
     For every fragment covering *attribute*:
 
     * if it is device-resident, only the kernel cost is charged;
-    * otherwise the column's bytes are staged over PCIe through a real
-      device-memory bounce buffer — unless ``charge_transfer`` is
-      False, which reproduces panel 4's "transfer costs to device
-      excluded" accounting (the data plane still computes the true sum
-      either way).
+    * if the staging cache holds a fresh device replica, the replica
+      serves the read and no PCIe is charged (a staging hit);
+    * otherwise the column is staged through ``platform.staging`` — one
+      coalesced burst installs a cached replica for the next query —
+      unless ``charge_transfer`` is False, which reproduces panel 4's
+      "transfer costs to device excluded" accounting (the data plane
+      still computes the true sum either way).
 
     Staging adapts to device-memory pressure (Bress, Funke & Teubner's
-    robustness strategies): the bounce buffer is sized to the free
-    device memory, and a column larger than it is processed in chunks —
-    same total traffic, one extra kernel launch per chunk.  A device
-    with no free memory at all raises
+    robustness strategies): when the column cannot be cached even after
+    LRU eviction, it streams through a bounce buffer sized to the free
+    device memory, processed in chunks — same total traffic, one extra
+    kernel launch per chunk (and, with ``platform.staging.overlap``
+    enabled, double-buffered so transfer hides behind compute).  A
+    device with no free memory at all raises
     :class:`~repro.errors.CapacityError`, which callers (CoGaDB's HyPE)
     turn into a host fallback.
     """
     fragments = layout.fragments_for_attribute(attribute)
     if not fragments:
         return 0.0  # empty relation: nothing to reduce, no launch issued
+    staging = ctx.platform.staging
     width = fragments[0].schema.attribute(attribute).width
     total = 0.0
     count = 0
-    staged_bytes = 0
+    misses: list[Fragment] = []
     for fragment in fragments:
+        count += fragment.filled
+        if is_device_resident(fragment):
+            if not fragment.is_phantom:
+                values = fragment.column(attribute)
+                total += float(np.sum(values)) if len(values) else 0.0
+            continue
+        entry = (
+            staging.lookup(fragment, attribute, ctx.counters)
+            if charge_transfer
+            else None
+        )
+        if entry is not None:
+            # The replica serves the read: a stale entry here would be
+            # a wrong answer, which is what the invalidation regression
+            # tests check for.
+            if entry.values is not None and len(entry.values):
+                total += float(np.sum(entry.values))
+            continue
         if not fragment.is_phantom:
             values = fragment.column(attribute)
             total += float(np.sum(values)) if len(values) else 0.0
-        count += fragment.filled
-        if not is_device_resident(fragment):
-            staged_bytes += fragment.filled * width
+        misses.append(fragment)
 
     chunks = 1
+    kernel_charged = False
+    staged_bytes = sum(fragment.filled * width for fragment in misses)
     if staged_bytes and charge_transfer:
-        device = ctx.platform.device_memory
-        if ctx.platform.injector is not None:
-            # Injected device OOM: the allocation request itself fails
-            # (beyond what the capacity model can predict).
-            ctx.platform.injector.check(SITE_DEVICE_ALLOC, ctx.counters)
-        buffer_bytes = min(staged_bytes, device.available)
-        if buffer_bytes < width:
-            raise CapacityError(
-                f"device memory exhausted: {device.available} B free, "
-                f"cannot stage even one {width} B element of {attribute!r}"
-            )
-        bounce = device.allocate(buffer_bytes, f"stage({attribute})")
-        try:
-            chunks = math.ceil(staged_bytes / buffer_bytes)
-            cost = _staging_transfer(attribute, staged_bytes, ctx)
-            # Each chunk is its own DMA setup.
-            cost += (chunks - 1) * ctx.platform.interconnect.transfer_cost(0)
-            ctx.note("pcie-transfer", cost)
-        finally:
-            device.free(bounce)
-    if count:
+        entries = staging.acquire(misses, attribute, width, ctx)
+        if entries is None:
+            # The column cannot be cached: stream it through a bounce
+            # buffer exactly as the pre-cache path did.
+            device = ctx.platform.device_memory
+            buffer_bytes = min(staged_bytes, device.available)
+            if buffer_bytes < width:
+                raise CapacityError(
+                    f"device memory exhausted: {device.available} B free, "
+                    f"cannot stage even one {width} B element of {attribute!r}"
+                )
+            bounce = device.allocate(buffer_bytes, f"stage({attribute})")
+            try:
+                chunks = math.ceil(staged_bytes / buffer_bytes)
+                if staging.overlap and chunks > 1 and count:
+                    _overlapped_staging(
+                        ctx, attribute, staged_bytes, count, chunks, width
+                    )
+                    kernel_charged = True
+                else:
+                    cost = _staging_transfer(attribute, staged_bytes, ctx)
+                    ctx.note("pcie-transfer", cost)
+            finally:
+                device.free(bounce)
+    if count and not kernel_charged:
         if chunks == 1:
             kernel_cost = ctx.platform.gpu.reduction_cost(
                 count, width, ctx.counters
@@ -194,7 +313,7 @@ def device_sum_column(
             kernel_cost = _chunked_reduction_cost(ctx, count, per_chunk, width)
         ctx.note(f"gpu-reduce({attribute})", kernel_cost)
     # Returning the scalar to the host is one tiny device->host copy.
-    result_cost = ctx.platform.interconnect.transfer_cost(width, ctx.counters)
+    result_cost = ctx.platform.staging.scheduler.transfer(width, ctx.counters)
     ctx.note("result-copy", result_cost)
     return total
 
@@ -211,21 +330,35 @@ def device_count_where(
     The selection kernel streams the column once (bandwidth-bound, like
     the reduction) and reduces the match bitmap on-device, so only the
     scalar count crosses the bus back — the classic GPU selection +
-    count fusion.  Host-resident fragments are staged first unless
-    ``charge_transfer`` is False.
+    count fusion.  Host-resident fragments are served from the staging
+    cache when possible and staged (with replica installation) on a
+    miss, unless ``charge_transfer`` is False.
     """
-    import numpy as np
-
     fragments = layout.fragments_for_attribute(attribute)
     if not fragments:
         return 0  # empty relation
+    staging = ctx.platform.staging
     width = fragments[0].schema.attribute(attribute).width
     matches = 0
     count = 0
-    staged_bytes = 0
+    misses: list[Fragment] = []
     for fragment in fragments:
+        count += fragment.filled
+        entry = None
+        if not is_device_resident(fragment):
+            entry = (
+                staging.lookup(fragment, attribute, ctx.counters)
+                if charge_transfer
+                else None
+            )
+            if entry is None:
+                misses.append(fragment)
         if not fragment.is_phantom:
-            values = fragment.column(attribute)
+            values = (
+                entry.values
+                if entry is not None and entry.values is not None
+                else fragment.column(attribute)
+            )
             if len(values):
                 mask = np.asarray(predicate(values), dtype=bool)
                 if mask.shape != values.shape:
@@ -234,14 +367,14 @@ def device_count_where(
                         f"{values.shape} values"
                     )
                 matches += int(np.sum(mask))
-        count += fragment.filled
-        if not is_device_resident(fragment):
-            staged_bytes += fragment.filled * width
+    staged_bytes = sum(fragment.filled * width for fragment in misses)
     if staged_bytes and charge_transfer:
-        if ctx.platform.injector is not None:
-            ctx.platform.injector.check(SITE_DEVICE_ALLOC, ctx.counters)
-        cost = _staging_transfer(attribute, staged_bytes, ctx)
-        ctx.note("pcie-transfer", cost)
+        entries = staging.acquire(misses, attribute, width, ctx)
+        if entries is None:
+            # No room to cache the replicas: charge the same burst
+            # uncached (this path never allocated a bounce buffer).
+            cost = _staging_transfer(attribute, staged_bytes, ctx)
+            ctx.note("pcie-transfer", cost)
     if count:
         kernel_seconds = ctx.platform.gpu.streaming_kernel_seconds(
             nbytes=count * width, ops=count * 2  # compare + ballot
@@ -253,6 +386,6 @@ def device_count_where(
         ctx.charge(f"gpu-count-where({attribute})", kernel)
         ctx.counters.kernel_launches += 2
         ctx.counters.device_cycles += kernel_seconds * ctx.platform.gpu.clock_hz
-    result_cost = ctx.platform.interconnect.transfer_cost(8, ctx.counters)
+    result_cost = ctx.platform.staging.scheduler.transfer(8, ctx.counters)
     ctx.note("result-copy", result_cost)
     return matches

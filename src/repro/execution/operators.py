@@ -368,11 +368,16 @@ def update_field(
     replication-based engines charge the extra writes).
     """
     model = ctx.platform.memory_model
+    staging = ctx.platform.staging
     touched = 0
     for fragment in layout.fragments:
         if fragment.region.contains(position, attribute):
             local = position - fragment.region.rows.start
             fragment.update_field(local, attribute, value)
+            # A write makes any staged device replica of this fragment
+            # stale: drop it so the next device query re-stages (the
+            # fragment's version bump catches missed paths as well).
+            staging.invalidate_fragment(fragment)
             width = fragment.schema.attribute(attribute).width
             cycles = model.random(count=1, touched=width, footprint=fragment.nbytes)
             ctx.charge(f"update({attribute})", cycles)

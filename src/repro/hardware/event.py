@@ -39,6 +39,11 @@ class PerfCounters:
     bytes_read: int = 0
     bytes_written: int = 0
     bytes_transferred: int = 0  # host <-> device traffic
+    pcie_bytes: int = 0  # payload bytes moved by the transfer scheduler
+    transfers: int = 0  # DMA bursts issued (coalesced transfers count once)
+    staging_hits: int = 0  # column reads served from the device staging cache
+    staging_misses: int = 0  # column reads that had to re-stage over PCIe
+    overlapped_cycles: Cycles = 0.0  # cycles hidden by transfer/compute overlap
     threads_spawned: int = 0
     kernel_launches: int = 0
     device_cycles: Cycles = 0.0

@@ -122,6 +122,17 @@ class MemorySpace:
             )
         self._used -= allocation.size
 
+    def try_allocate(self, size: int, label: str = "") -> Allocation | None:
+        """Like :meth:`allocate`, but returns None when capacity is short.
+
+        The staging manager uses this to reserve replica slots without
+        turning device pressure into control flow by exception — a
+        failed reservation means "stream instead", not an error.
+        """
+        if size >= 0 and self._used + size > self.capacity:
+            return None
+        return self.allocate(size, label)
+
     def fits(self, size: int) -> bool:
         """Whether *size* bytes could currently be allocated."""
         return self._used + size <= self.capacity

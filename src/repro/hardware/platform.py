@@ -59,6 +59,19 @@ class Platform:
     #: component-level fault sites (node crash, reorg interruption).
     injector: "FaultInjector | None" = None
 
+    def __post_init__(self) -> None:
+        """Attach the device staging manager (``platform.staging``).
+
+        A plain attribute, not a dataclass field: ``dataclasses.replace``
+        (how sweeps derive platform variants) builds the new platform
+        through ``__init__`` and therefore gets a fresh, cold cache —
+        staged state never leaks between sweep points.  Imported lazily
+        because the staging package sits above the hardware layer.
+        """
+        from repro.staging.manager import StagingManager
+
+        self.staging = StagingManager(self)
+
     @classmethod
     def paper_testbed(
         cls,

@@ -99,6 +99,10 @@ class Fragment:
         self.label = label or f"fragment{region}"
         nbytes = region.row_count * self.schema.record_width
         self.allocation: Allocation = space.allocate(nbytes, self.label)
+        #: Mutation counter: bumped by every data-plane write so device
+        #: replicas (the staging cache) can detect staleness even if an
+        #: explicit invalidation hook was missed.
+        self.version = 0
         self._filled = 0
         self._records: np.ndarray | None = None
         self._columns: dict[str, np.ndarray] | None = None
@@ -190,6 +194,7 @@ class Fragment:
                 f"(filled {self._filled} of {self.capacity})"
             )
         self._filled += count
+        self.version += 1
 
     @property
     def capacity(self) -> int:
@@ -242,6 +247,7 @@ class Fragment:
         )
         self._compressed = encoded
         self._columns = None
+        self.version += 1
         return True
 
     def _column_values(self, attribute: str) -> np.ndarray:
@@ -307,6 +313,7 @@ class Fragment:
             for name in self.schema.names:
                 self._columns[name][start:stop] = columns[name]
         self._filled = stop
+        self.version += 1
 
     def write_row(
         self, local_row: int, row: Sequence[Any], _allow_fill: bool = False
@@ -333,6 +340,7 @@ class Fragment:
             assert self._columns is not None
             for name, value in zip(self.schema.names, row):
                 self._columns[name][local_row] = _to_storable(value)
+        self.version += 1
 
     def read_row(self, local_row: int) -> tuple[Any, ...]:
         """Materialize tuplet *local_row* as plain Python values."""
@@ -381,6 +389,7 @@ class Fragment:
                     f"{self.label}: attribute {attribute!r} not in fragment schema"
                 )
             self._columns[attribute][local_row] = _to_storable(value)
+        self.version += 1
 
     def column(self, attribute: str) -> np.ndarray:
         """The filled portion of one column as a numpy array.

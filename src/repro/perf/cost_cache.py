@@ -194,11 +194,19 @@ def fragment_fingerprint(fragment: "Fragment") -> tuple:
     """Hashable identity of a fragment's cost-relevant geometry.
 
     Linearization, orientation, filled rows, allocation size, schema
-    widths, and the compression codec (name, decode cost, encoded size)
-    — everything :func:`~repro.execution.operators.column_scan_cost`
-    reads.  Payload contents are irrelevant to the cost plane and are
-    excluded, so phantom and filled fragments with the same geometry
-    share entries.
+    widths, the memory-space kind, and the compression codec (name,
+    decode cost, encoded size) — everything
+    :func:`~repro.execution.operators.column_scan_cost` reads.  Payload
+    contents are irrelevant to the cost plane and are excluded, so
+    phantom and filled fragments with the same geometry share entries.
+
+    The memory-space kind keeps the key honest next to the device
+    staging cache: a fragment replicated between host and device must
+    not share costings across locations, and a memoized costing is then
+    byte-identical for a given (geometry, location) — the staging
+    cache's own hit/miss state never enters these formulas (transfer
+    charges flow through :class:`repro.staging.TransferScheduler`,
+    which is not memoized).
     """
     compression = fragment.compression
     if compression is None:
@@ -218,6 +226,7 @@ def fragment_fingerprint(fragment: "Fragment") -> tuple:
         schema.record_width,
         tuple((attribute.name, attribute.width) for attribute in schema),
         compressed,
+        fragment.space.kind.value,
     )
 
 

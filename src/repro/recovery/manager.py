@@ -178,6 +178,11 @@ class RecoveryManager:
         # ---- engine-specific epilogue + cache hygiene ----------------
         engine.on_recovered(name, ctx)
         invalidate_cost_cache()
+        # Staged device replicas captured pre-crash state (including
+        # loser-transaction writes that undo just rolled back): drop
+        # them all so post-restart reads re-stage from the recovered
+        # columns.
+        ctx.platform.staging.invalidate_all()
 
         replayed = len({record.txn_id for record in redo if record.txn_id in committed})
         cycles = ctx.counters.cycles - start_cycles

@@ -1,0 +1,139 @@
+"""Chaos regressions for the staging layer: faults must not corrupt state.
+
+Pins the scheduler's fault ordering (cycles per attempt, bytes only
+after survival), the acquire path's reservation rollback, and the
+OOM-eviction recovery — with the resilience report balancing in every
+scenario.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, TransferError
+from repro.execution.context import ExecutionContext
+from repro.execution.device import device_sum_column
+from repro.faults.injector import (
+    SITE_DEVICE_ALLOC,
+    SITE_PCIE_TRANSFER,
+    FaultInjector,
+)
+from repro.faults.policy import RetryPolicy
+from repro.hardware import Platform
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.region import Region
+from repro.model.datatypes import FLOAT64
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+
+ROWS = 500
+
+
+@pytest.fixture
+def relation():
+    return Relation("prices", Schema.of(("price", FLOAT64)), ROWS)
+
+
+def price_store(relation, platform, label="col"):
+    fragment = Fragment(
+        Region.full(relation), relation.schema, None, platform.host_memory,
+        label=label,
+    )
+    fragment.append_columns({"price": np.arange(ROWS, dtype=np.float64)})
+    return Layout(label, relation, [fragment])
+
+
+class TestTransferFaults:
+    def test_retried_burst_never_double_counts_bytes(self, relation):
+        platform = Platform.paper_testbed()
+        injector = FaultInjector(seed=3).arm(
+            SITE_PCIE_TRANSFER, 1.0, max_faults=1
+        )
+        injector.install(platform)
+        store = price_store(relation, platform)
+        ctx = ExecutionContext(platform)
+        ctx.retry = RetryPolicy(max_attempts=4, report=injector.report)
+
+        total = device_sum_column(store, "price", ctx)
+        assert total == pytest.approx(float(np.sum(np.arange(ROWS))))
+        # The staged payload crossed once, the result scalar once — the
+        # failed first attempt burned cycles but moved no counted bytes.
+        assert ctx.counters.pcie_bytes == ROWS * 8 + 8
+        assert ctx.counters.bytes_transferred == ROWS * 8 + 8
+        assert ctx.counters.transfers == 2
+        assert ctx.counters.fault_retries == 1
+        # A clean run of the same query is strictly cheaper: the retry's
+        # wasted wire time and backoff are real cycles.
+        clean = ExecutionContext(Platform.paper_testbed())
+        device_sum_column(
+            price_store(relation, clean.platform), "price", clean
+        )
+        assert ctx.cycles > clean.cycles
+        # Residency is intact and the accounting balances.
+        assert len(platform.staging.cache) == 1
+        assert platform.staging.cache.resident_bytes == ROWS * 8
+        report = injector.report
+        assert report.injected == 1
+        assert report.injected == (
+            report.retried
+            + report.fallen_back
+            + report.recovered
+            + report.surfaced
+        )
+
+    def test_surfaced_burst_leaves_residency_uncorrupted(self, relation):
+        platform = Platform.paper_testbed()
+        FaultInjector(seed=5).arm(SITE_PCIE_TRANSFER, 1.0).install(platform)
+        store = price_store(relation, platform)
+        ctx = ExecutionContext(platform)  # no retry policy: first fault surfaces
+        with pytest.raises(TransferError):
+            device_sum_column(store, "price", ctx)
+        # The reserved replica slots were rolled back: no leaked device
+        # memory, no half-staged entries, no phantom byte counts.
+        assert platform.device_memory.used == 0
+        assert len(platform.staging.cache) == 0
+        assert ctx.counters.pcie_bytes == 0
+        assert ctx.counters.transfers == 0
+        assert ctx.counters.bytes_transferred == 0
+        assert ctx.counters.cycles > 0  # the wire time was still burned
+
+
+class TestDeviceOomFaults:
+    def test_oom_evicts_lru_replica_and_recovers(self, relation):
+        platform = Platform.paper_testbed()
+        injector = FaultInjector(seed=1)
+        injector.install(platform)
+        other_relation = Relation("costs", Schema.of(("price", FLOAT64)), ROWS)
+        first = price_store(relation, platform, label="first")
+        second = price_store(other_relation, platform, label="second")
+        warmup = ExecutionContext(platform)
+        device_sum_column(first, "price", warmup)
+        assert len(platform.staging.cache) == 1
+
+        injector.arm(SITE_DEVICE_ALLOC, 1.0, max_faults=1)
+        ctx = ExecutionContext(platform)
+        total = device_sum_column(second, "price", ctx)
+        assert total == pytest.approx(float(np.sum(np.arange(ROWS))))
+        # The injected OOM was absorbed by discarding the LRU replica.
+        assert ctx.counters.fault_recoveries == 1
+        report = injector.report
+        assert report.injected == 1 == report.recovered
+        assert report.injected == (
+            report.retried
+            + report.fallen_back
+            + report.recovered
+            + report.surfaced
+        )
+        cache = platform.staging.cache
+        assert len(cache) == 1
+        assert cache.peek(first.fragments[0], "price") is None
+        assert cache.peek(second.fragments[0], "price") is not None
+
+    def test_oom_with_cold_cache_surfaces(self, relation):
+        platform = Platform.paper_testbed()
+        FaultInjector(seed=2).arm(SITE_DEVICE_ALLOC, 1.0).install(platform)
+        store = price_store(relation, platform)
+        with pytest.raises(DeviceError):
+            device_sum_column(store, "price", ExecutionContext(platform))
+        assert platform.device_memory.used == 0
+        assert len(platform.staging.cache) == 0

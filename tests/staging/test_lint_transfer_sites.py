@@ -1,0 +1,39 @@
+"""Lint: fragment-payload PCIe charges must route through the scheduler.
+
+``InterconnectModel.transfer_cost`` remains the primitive the scheduler
+prices with, but no module outside ``repro/staging/`` may call it
+directly for fragment payloads — a direct call would bypass coalescing,
+the staging cache's hit accounting, and the ``pcie_bytes`` /
+``transfers`` tallies.  (``cluster.network`` in the distributed layer
+is a different link with its own model and is not matched here.)
+"""
+
+import re
+from pathlib import Path
+
+import repro
+
+PATTERN = re.compile(r"\binterconnect\.transfer_cost\s*\(")
+
+#: Modules allowed to touch the primitive: the scheduler itself (and
+#: its benchmark CLI, which reconstructs the legacy charge sequence for
+#: the byte-identity check) and the model's own definition site.
+ALLOWED = ("repro/staging/", "repro/hardware/interconnect.py")
+
+
+def test_no_direct_transfer_cost_calls_outside_staging():
+    src_root = Path(repro.__file__).resolve().parent
+    offenders = []
+    for path in sorted(src_root.rglob("*.py")):
+        relative = path.relative_to(src_root.parent).as_posix()
+        if any(relative.startswith(allowed) for allowed in ALLOWED):
+            continue
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if PATTERN.search(line):
+                offenders.append(f"{relative}:{number}: {line.strip()}")
+    assert not offenders, (
+        "fragment transfers must go through repro.staging.TransferScheduler; "
+        "direct interconnect.transfer_cost calls found:\n" + "\n".join(offenders)
+    )

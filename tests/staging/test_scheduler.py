@@ -1,0 +1,175 @@
+"""TransferScheduler properties: coalescing, overlap bounds, byte-identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.execution.context import ExecutionContext
+from repro.execution.device import device_sum_column
+from repro.hardware import Platform
+from repro.hardware.event import PerfCounters
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.region import Region
+from repro.model.datatypes import FLOAT64
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+
+SIZES = st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=8)
+CHUNK_PAIRS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestCoalescing:
+    @given(sizes=SIZES)
+    def test_burst_equals_one_transfer_of_the_sum(self, sizes):
+        # The coalescing identity, compared exactly: a burst charges the
+        # same float the historical single transfer of the summed
+        # payload charged.
+        platform = Platform.paper_testbed()
+        scheduler = platform.staging.scheduler
+        assert scheduler.burst(sizes) == platform.interconnect.transfer_cost(
+            sum(sizes)
+        )
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=10**8), min_size=2, max_size=8
+        )
+    )
+    def test_burst_of_n_pays_one_latency(self, sizes):
+        # N coalesced transfers: N bandwidth terms, ONE link latency —
+        # versus N latencies for N separate transfers.
+        platform = Platform.paper_testbed()
+        interconnect = platform.interconnect
+        scheduler = platform.staging.scheduler
+        burst = scheduler.burst(sizes)
+        latency_cycles = interconnect.latency_s * interconnect.host_frequency_hz
+        bandwidth_cycles = (
+            sum(sizes) / interconnect.bandwidth * interconnect.host_frequency_hz
+        )
+        assert burst == pytest.approx(latency_cycles + bandwidth_cycles)
+        singles = sum(interconnect.transfer_cost(size) for size in sizes)
+        assert burst == pytest.approx(
+            singles - (len(sizes) - 1) * latency_cycles
+        )
+
+    def test_accounted_transfer_is_dropin_for_legacy_call(self):
+        platform = Platform.paper_testbed()
+        legacy, staged = PerfCounters(), PerfCounters()
+        expected = platform.interconnect.transfer_cost(4096, legacy)
+        actual = platform.staging.scheduler.transfer(4096, staged)
+        assert actual == expected
+        assert staged.cycles == legacy.cycles
+        assert staged.bytes_transferred == legacy.bytes_transferred == 4096
+        assert staged.pcie_bytes == 4096
+        assert staged.transfers == 1
+
+    def test_zero_byte_burst_charges_nothing(self):
+        platform = Platform.paper_testbed()
+        counters = PerfCounters()
+        assert platform.staging.scheduler.burst((0, 0), counters) == 0.0
+        assert counters.cycles == 0.0
+        assert counters.transfers == 0
+
+    def test_negative_size_rejected(self):
+        platform = Platform.paper_testbed()
+        with pytest.raises(ExecutionError):
+            platform.staging.scheduler.burst((8, -1))
+
+
+class TestPipeline:
+    @given(pairs=CHUNK_PAIRS)
+    def test_pipelined_total_is_bounded(self, pairs):
+        # Double buffering can hide transfer behind compute but never
+        # beat either stream running alone, and never lose to serial.
+        platform = Platform.paper_testbed()
+        transfers = [pair[0] for pair in pairs]
+        computes = [pair[1] for pair in pairs]
+        total, savings = platform.staging.scheduler.pipeline_cost(
+            transfers, computes
+        )
+        lower = max(sum(transfers), sum(computes))
+        serial = sum(transfers) + sum(computes)
+        assert total >= lower or total == pytest.approx(lower)
+        assert total <= serial or total == pytest.approx(serial)
+        assert savings == pytest.approx(serial - total)
+
+    def test_single_chunk_cannot_overlap(self):
+        platform = Platform.paper_testbed()
+        total, savings = platform.staging.scheduler.pipeline_cost([10.0], [4.0])
+        assert total == 14.0
+        assert savings == 0.0
+
+    def test_empty_pipeline(self):
+        platform = Platform.paper_testbed()
+        assert platform.staging.scheduler.pipeline_cost([], []) == (0.0, 0.0)
+
+    def test_mismatched_chunk_lists_rejected(self):
+        platform = Platform.paper_testbed()
+        with pytest.raises(ExecutionError):
+            platform.staging.scheduler.pipeline_cost([1.0, 2.0], [1.0])
+
+
+class TestColdByteIdentity:
+    def test_cold_device_sum_matches_legacy_charge_sequence(self):
+        # A cold staging cache must reproduce the pre-cache costs float
+        # for float: one column transfer, the two-pass reduction, one
+        # result copy — compared with ==, not a tolerance.
+        platform = Platform.paper_testbed()
+        rows = 10_000
+        relation = Relation("prices", Schema.of(("price", FLOAT64)), rows)
+        fragment = Fragment(
+            Region.full(relation), relation.schema, None, platform.host_memory
+        )
+        fragment.append_columns({"price": np.arange(rows, dtype=np.float64)})
+        ctx = ExecutionContext(platform)
+        device_sum_column(
+            Layout("c", relation, [fragment]), "price", ctx, charge_transfer=True
+        )
+        legacy = PerfCounters()
+        platform.interconnect.transfer_cost(rows * 8, legacy)
+        platform.gpu.reduction_cost(rows, 8, legacy)
+        platform.interconnect.transfer_cost(8, legacy)
+        assert ctx.counters.cycles == legacy.cycles
+        assert ctx.counters.bytes_transferred == legacy.bytes_transferred
+
+
+class TestOverlappedStaging:
+    def test_chunked_staging_overlaps_when_enabled(self):
+        rows = 1000
+        relation = Relation("prices", Schema.of(("price", FLOAT64)), rows)
+
+        def run(overlap):
+            # Free device memory holds a quarter of the column: 4 chunks.
+            platform = Platform.paper_testbed(device_capacity=2000)
+            platform.staging.overlap = overlap
+            fragment = Fragment(
+                Region.full(relation), relation.schema, None, platform.host_memory
+            )
+            fragment.append_columns({"price": np.arange(rows, dtype=np.float64)})
+            ctx = ExecutionContext(platform)
+            total = device_sum_column(
+                Layout("c", relation, [fragment]), "price", ctx
+            )
+            assert total == pytest.approx(float(np.sum(np.arange(rows))))
+            return ctx
+
+        serial = run(False)
+        overlapped = run(True)
+        assert serial.counters.overlapped_cycles == 0.0
+        assert overlapped.counters.overlapped_cycles > 0.0
+        # Same traffic either way; the pipeline only reshapes the time.
+        assert (
+            overlapped.counters.pcie_bytes
+            == serial.counters.pcie_bytes
+            == rows * 8 + 8
+        )
+        assert overlapped.counters.kernel_launches == serial.counters.kernel_launches
