@@ -30,6 +30,7 @@ dangling ``REORG_BEGIN`` for recovery's analysis pass to report.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Sequence
 
 from repro.adapt.advisor import GroupProposal, LayoutProposal
@@ -101,86 +102,99 @@ def reorganize_layout(
     injector = ctx.platform.injector if ctx is not None else None
     counters = ctx.counters if ctx is not None else None
     wal = ctx.wal if ctx is not None else None
-    if wal is not None:
-        from repro.recovery.wal import LogRecordKind
-
-        wal.log_reorg(LogRecordKind.REORG_BEGIN, layout.name, ctx)
-
-    try:
-        if phantom:
-            if injector is not None:
-                injector.check(SITE_REORG_INTERRUPT, counters)
-                injector.check(SITE_CRASH_REORG, counters)
-            for fragment in new_fragments:
-                fragment.fill_phantom(relation.row_count)
-        else:
-            index_of = {
-                name: position for position, name in enumerate(relation.schema.names)
-            }
-            for row in range(relation.row_count):
-                if injector is not None:
-                    injector.check(SITE_REORG_INTERRUPT, counters)
-                    injector.check(SITE_CRASH_REORG, counters)
-                values = layout.read_row(row)
-                for fragment in new_fragments:
-                    fragment.append_rows(
-                        [
-                            tuple(
-                                values[index_of[name]]
-                                for name in fragment.schema.names
-                            )
-                        ]
-                    )
-    except EngineCrashed:
-        # The machine died: no rollback runs and no abort record is
-        # written — the partially-built fragments simply cease to exist
-        # with the process.  Recovery sees a REORG_BEGIN with no END
-        # and serves the pre-reorganization state from checkpoint+log.
-        for fragment in new_fragments:
-            fragment.free()
-        raise
-    except ReorganizationAborted:
-        # Roll back: the old fragments were never touched, so undoing
-        # the transaction is freeing the partial copies.  The wasted
-        # migration work still costs cycles (fault runs must be
-        # measurably slower than clean runs).
-        migrated = sum(fragment.filled for fragment in new_fragments)
-        for fragment in new_fragments:
-            fragment.free()
-        if ctx is not None and relation.row_count:
-            wasted = relation.nsm_bytes * (
-                migrated / (relation.row_count * max(len(new_fragments), 1))
-            )
-            cost = 2 * ctx.platform.memory_model.sequential(int(wasted))
-            ctx.charge(f"reorganize-aborted({relation.name})", cost)
+    span_cm = (
+        ctx.span(f"reorganize({layout.name})", "reorg", rows=relation.row_count)
+        if ctx is not None
+        else nullcontext(None)
+    )
+    with span_cm as span:
         if wal is not None:
             from repro.recovery.wal import LogRecordKind
 
-            wal.log_reorg(LogRecordKind.REORG_ABORT, layout.name, ctx)
-        raise
+            wal.log_reorg(LogRecordKind.REORG_BEGIN, layout.name, ctx)
 
-    if ctx is not None:
-        payload = relation.nsm_bytes
-        cost = ctx.platform.memory_model.sequential(payload)  # read old
-        cost += ctx.platform.memory_model.sequential(payload)  # write new
-        ctx.charge(f"reorganize({relation.name})", cost)
-        ctx.counters.bytes_written += payload
+        try:
+            if phantom:
+                if injector is not None:
+                    injector.check(SITE_REORG_INTERRUPT, counters)
+                    injector.check(SITE_CRASH_REORG, counters)
+                for fragment in new_fragments:
+                    fragment.fill_phantom(relation.row_count)
+            else:
+                index_of = {
+                    name: position
+                    for position, name in enumerate(relation.schema.names)
+                }
+                for row in range(relation.row_count):
+                    if injector is not None:
+                        injector.check(SITE_REORG_INTERRUPT, counters)
+                        injector.check(SITE_CRASH_REORG, counters)
+                    values = layout.read_row(row)
+                    for fragment in new_fragments:
+                        fragment.append_rows(
+                            [
+                                tuple(
+                                    values[index_of[name]]
+                                    for name in fragment.schema.names
+                                )
+                            ]
+                        )
+        except EngineCrashed:
+            # The machine died: no rollback runs and no abort record is
+            # written — the partially-built fragments simply cease to exist
+            # with the process.  Recovery sees a REORG_BEGIN with no END
+            # and serves the pre-reorganization state from checkpoint+log.
+            if span is not None:
+                span.attrs["outcome"] = "crashed"
+            for fragment in new_fragments:
+                fragment.free()
+            raise
+        except ReorganizationAborted:
+            # Roll back: the old fragments were never touched, so undoing
+            # the transaction is freeing the partial copies.  The wasted
+            # migration work still costs cycles (fault runs must be
+            # measurably slower than clean runs).
+            if span is not None:
+                span.attrs["outcome"] = "aborted"
+            migrated = sum(fragment.filled for fragment in new_fragments)
+            for fragment in new_fragments:
+                fragment.free()
+            if ctx is not None and relation.row_count:
+                wasted = relation.nsm_bytes * (
+                    migrated / (relation.row_count * max(len(new_fragments), 1))
+                )
+                cost = 2 * ctx.platform.memory_model.sequential(int(wasted))
+                ctx.charge(f"reorganize-aborted({relation.name})", cost)
+            if wal is not None:
+                from repro.recovery.wal import LogRecordKind
 
-    old_fragments = list(layout.fragments)
-    layout.replace_fragments(new_fragments)
-    try:
-        layout.validate()
-    except LayoutError:
-        layout.replace_fragments(old_fragments)
-        for fragment in new_fragments:
+                wal.log_reorg(LogRecordKind.REORG_ABORT, layout.name, ctx)
+            raise
+
+        if ctx is not None:
+            payload = relation.nsm_bytes
+            cost = ctx.platform.memory_model.sequential(payload)  # read old
+            cost += ctx.platform.memory_model.sequential(payload)  # write new
+            ctx.charge(f"reorganize({relation.name})", cost)
+            ctx.counters.bytes_written += payload
+
+        old_fragments = list(layout.fragments)
+        layout.replace_fragments(new_fragments)
+        try:
+            layout.validate()
+        except LayoutError:
+            layout.replace_fragments(old_fragments)
+            for fragment in new_fragments:
+                fragment.free()
+            raise
+        for fragment in old_fragments:
             fragment.free()
-        raise
-    for fragment in old_fragments:
-        fragment.free()
-    if wal is not None:
-        from repro.recovery.wal import LogRecordKind
+        if wal is not None:
+            from repro.recovery.wal import LogRecordKind
 
-        wal.log_reorg(LogRecordKind.REORG_END, layout.name, ctx)
+            wal.log_reorg(LogRecordKind.REORG_END, layout.name, ctx)
+        if span is not None:
+            span.attrs["outcome"] = "completed"
     # The swap changed fragment geometry in place: memoized costings
     # keyed on the old fingerprints must not serve the new layout, and
     # device replicas staged from the old fragments must not serve reads.

@@ -365,7 +365,12 @@ class ReferenceEngine(StorageEngine):
             ],
             report=injector.report if injector is not None else None,
         )
-        total, _served_by = chain.run(ctx)
+        with ctx.span(
+            f"ref-sum({attribute})", "operator", placed=True
+        ) as span:
+            total, served_by = chain.run(ctx)
+            if span is not None:
+                span.attrs["served_by"] = served_by
         return total
 
     # ------------------------------------------------------------------

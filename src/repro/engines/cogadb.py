@@ -296,35 +296,52 @@ class CoGaDBEngine(StorageEngine):
             count, width, on_device, fragment, attribute
         )
         host_layout = managed.layouts[1]
-        if choice == "gpu":
-            # A single-fragment view: the mixed layout holds both the
-            # device replica and the host fallback for placed columns,
-            # and summing both would double-count.
-            view = Layout(
-                f"{name}/gpu-view", managed.relation, [fragment], allow_overlap=True, validate=False
-            )
-            chain = self._device_chain(
-                lambda: device_sum_column(view, attribute, ctx),
-                lambda: sum_column(host_layout, attribute, ctx),
-            )
-            result, served_by = chain.run(ctx)
-            if served_by == "gpu":
-                self.scheduler.observe(
-                    "gpu", gpu_prediction, ctx.counters.cycles - before
+        # The span annotates HyPE's decision inputs and outcome; the
+        # routed operator's own span nests underneath it.
+        with ctx.span(
+            f"cogadb-sum({attribute})",
+            "operator",
+            hype_choice=choice,
+            cpu_predicted=cpu_prediction,
+            gpu_predicted=gpu_prediction,
+            on_device=on_device,
+        ) as span:
+            if choice == "gpu":
+                # A single-fragment view: the mixed layout holds both the
+                # device replica and the host fallback for placed columns,
+                # and summing both would double-count.
+                view = Layout(
+                    f"{name}/gpu-view", managed.relation, [fragment],
+                    allow_overlap=True, validate=False,
                 )
+                chain = self._device_chain(
+                    lambda: device_sum_column(view, attribute, ctx),
+                    lambda: sum_column(host_layout, attribute, ctx),
+                )
+                result, served_by = chain.run(ctx)
+                if span is not None:
+                    span.attrs["served_by"] = served_by
+                if served_by == "gpu":
+                    self.scheduler.observe(
+                        "gpu", gpu_prediction, ctx.counters.cycles - before
+                    )
+                else:
+                    # Robustness fallback (Bress et al. 2016): the device
+                    # path failed or was circuit-broken.  Record the
+                    # fallback as its own decision event — never rewrite
+                    # history — so HyPE trains on what was actually
+                    # attempted, and learn the host episode.
+                    self.scheduler.decisions.append("cpu-fallback")
+                    self.scheduler.observe(
+                        "cpu", cpu_prediction, ctx.counters.cycles - before
+                    )
             else:
-                # Robustness fallback (Bress et al. 2016): the device
-                # path failed or was circuit-broken.  Record the
-                # fallback as its own decision event — never rewrite
-                # history — so HyPE trains on what was actually
-                # attempted, and learn the host episode.
-                self.scheduler.decisions.append("cpu-fallback")
+                result = sum_column(host_layout, attribute, ctx)
+                if span is not None:
+                    span.attrs["served_by"] = "cpu"
                 self.scheduler.observe(
                     "cpu", cpu_prediction, ctx.counters.cycles - before
                 )
-        else:
-            result = sum_column(host_layout, attribute, ctx)
-            self.scheduler.observe("cpu", cpu_prediction, ctx.counters.cycles - before)
         return result
 
     def count_where(self, name, attribute, predicate, ctx) -> int:
@@ -350,20 +367,32 @@ class CoGaDBEngine(StorageEngine):
         from repro.execution.bulk import bulk_count_where
 
         host_layout = managed.layouts[1]
-        if choice == "gpu":
-            view = Layout(
-                f"{name}/gpu-view", managed.relation, [fragment],
-                allow_overlap=True, validate=False,
-            )
-            chain = self._device_chain(
-                lambda: device_count_where(view, attribute, predicate, ctx),
-                lambda: bulk_count_where(host_layout, attribute, predicate, ctx),
-            )
-            result, served_by = chain.run(ctx)
-            if served_by != "gpu":
-                self.scheduler.decisions.append("cpu-fallback")
-            return result
-        return bulk_count_where(host_layout, attribute, predicate, ctx)
+        with ctx.span(
+            f"cogadb-count-where({attribute})",
+            "operator",
+            hype_choice=choice,
+            on_device=on_device,
+        ) as span:
+            if choice == "gpu":
+                view = Layout(
+                    f"{name}/gpu-view", managed.relation, [fragment],
+                    allow_overlap=True, validate=False,
+                )
+                chain = self._device_chain(
+                    lambda: device_count_where(view, attribute, predicate, ctx),
+                    lambda: bulk_count_where(
+                        host_layout, attribute, predicate, ctx
+                    ),
+                )
+                result, served_by = chain.run(ctx)
+                if span is not None:
+                    span.attrs["served_by"] = served_by
+                if served_by != "gpu":
+                    self.scheduler.decisions.append("cpu-fallback")
+                return result
+            if span is not None:
+                span.attrs["served_by"] = "cpu"
+            return bulk_count_where(host_layout, attribute, predicate, ctx)
 
     # ------------------------------------------------------------------
     # Record-centric paths stay on the host copy (the mixed layout's

@@ -9,6 +9,7 @@ context".
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -73,6 +74,30 @@ class ExecutionContext:
     def note(self, label: str, cycles: Cycles) -> None:
         """Record a breakdown entry for cycles already counted."""
         self.breakdown.add(label, cycles)
+
+    # ------------------------------------------------------------------
+    # Tracing hooks (no-ops when the platform carries no tracer)
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "operator", **attrs):
+        """A traced region on this context's simulated timeline.
+
+        Context manager yielding the open
+        :class:`~repro.obs.Span` — or ``None`` when the platform has no
+        tracer, so instrumented code can guard annotations with
+        ``if span is not None``.  Purely observational: entering or
+        exiting a span never charges a cycle (the zero-observer-effect
+        contract of :mod:`repro.obs`).
+        """
+        tracer = self.platform.tracer
+        if tracer is None:
+            return nullcontext(None)
+        return tracer.span(name, category, self.counters, **attrs)
+
+    def instant(self, name: str, category: str = "operator", **attrs) -> None:
+        """Record a zero-duration trace event at the current cycle."""
+        tracer = self.platform.tracer
+        if tracer is not None:
+            tracer.instant(name, category, self.counters, **attrs)
 
     def seconds(self) -> float:
         """Wall-clock seconds of the charged total on this platform."""

@@ -193,10 +193,14 @@ def _overlapped_staging(
 
     def attempt() -> Cycles:
         # Wire time and kernel time are interleaved on the critical
-        # path, so the whole pipelined charge lands per attempt.
-        ctx.counters.cycles += total
-        if platform.injector is not None:
-            platform.injector.check(SITE_PCIE_TRANSFER, ctx.counters)
+        # path, so the whole pipelined charge lands per attempt — and
+        # shows up as one span per attempt, like the burst path.
+        with ctx.span(
+            "overlapped-staging", "pcie", bytes=staged_bytes, chunks=n
+        ):
+            ctx.counters.cycles += total
+            if platform.injector is not None:
+                platform.injector.check(SITE_PCIE_TRANSFER, ctx.counters)
         return total
 
     if ctx.retry is not None:
@@ -248,73 +252,84 @@ def device_sum_column(
         return 0.0  # empty relation: nothing to reduce, no launch issued
     staging = ctx.platform.staging
     width = fragments[0].schema.attribute(attribute).width
-    total = 0.0
-    count = 0
-    misses: list[Fragment] = []
-    for fragment in fragments:
-        count += fragment.filled
-        if is_device_resident(fragment):
+    with ctx.span(
+        f"device-sum({attribute})",
+        "operator",
+        on_device=all(is_device_resident(fragment) for fragment in fragments),
+    ):
+        total = 0.0
+        count = 0
+        misses: list[Fragment] = []
+        for fragment in fragments:
+            count += fragment.filled
+            if is_device_resident(fragment):
+                if not fragment.is_phantom:
+                    values = fragment.column(attribute)
+                    total += float(np.sum(values)) if len(values) else 0.0
+                continue
+            entry = (
+                staging.lookup(fragment, attribute, ctx.counters)
+                if charge_transfer
+                else None
+            )
+            if entry is not None:
+                # The replica serves the read: a stale entry here would be
+                # a wrong answer, which is what the invalidation regression
+                # tests check for.
+                if entry.values is not None and len(entry.values):
+                    total += float(np.sum(entry.values))
+                continue
             if not fragment.is_phantom:
                 values = fragment.column(attribute)
                 total += float(np.sum(values)) if len(values) else 0.0
-            continue
-        entry = (
-            staging.lookup(fragment, attribute, ctx.counters)
-            if charge_transfer
-            else None
-        )
-        if entry is not None:
-            # The replica serves the read: a stale entry here would be
-            # a wrong answer, which is what the invalidation regression
-            # tests check for.
-            if entry.values is not None and len(entry.values):
-                total += float(np.sum(entry.values))
-            continue
-        if not fragment.is_phantom:
-            values = fragment.column(attribute)
-            total += float(np.sum(values)) if len(values) else 0.0
-        misses.append(fragment)
+            misses.append(fragment)
 
-    chunks = 1
-    kernel_charged = False
-    staged_bytes = sum(fragment.filled * width for fragment in misses)
-    if staged_bytes and charge_transfer:
-        entries = staging.acquire(misses, attribute, width, ctx)
-        if entries is None:
-            # The column cannot be cached: stream it through a bounce
-            # buffer exactly as the pre-cache path did.
-            device = ctx.platform.device_memory
-            buffer_bytes = min(staged_bytes, device.available)
-            if buffer_bytes < width:
-                raise CapacityError(
-                    f"device memory exhausted: {device.available} B free, "
-                    f"cannot stage even one {width} B element of {attribute!r}"
-                )
-            bounce = device.allocate(buffer_bytes, f"stage({attribute})")
-            try:
-                chunks = math.ceil(staged_bytes / buffer_bytes)
-                if staging.overlap and chunks > 1 and count:
-                    _overlapped_staging(
-                        ctx, attribute, staged_bytes, count, chunks, width
+        chunks = 1
+        kernel_charged = False
+        staged_bytes = sum(fragment.filled * width for fragment in misses)
+        if staged_bytes and charge_transfer:
+            entries = staging.acquire(misses, attribute, width, ctx)
+            if entries is None:
+                # The column cannot be cached: stream it through a bounce
+                # buffer exactly as the pre-cache path did.
+                device = ctx.platform.device_memory
+                buffer_bytes = min(staged_bytes, device.available)
+                if buffer_bytes < width:
+                    raise CapacityError(
+                        f"device memory exhausted: {device.available} B free, "
+                        f"cannot stage even one {width} B element of "
+                        f"{attribute!r}"
                     )
-                    kernel_charged = True
+                bounce = device.allocate(buffer_bytes, f"stage({attribute})")
+                try:
+                    chunks = math.ceil(staged_bytes / buffer_bytes)
+                    if staging.overlap and chunks > 1 and count:
+                        _overlapped_staging(
+                            ctx, attribute, staged_bytes, count, chunks, width
+                        )
+                        kernel_charged = True
+                    else:
+                        cost = _staging_transfer(attribute, staged_bytes, ctx)
+                        ctx.note("pcie-transfer", cost)
+                finally:
+                    device.free(bounce)
+        if count and not kernel_charged:
+            with ctx.span(
+                f"gpu-reduce({attribute})", "kernel", elements=count, chunks=chunks
+            ):
+                if chunks == 1:
+                    kernel_cost = ctx.platform.gpu.reduction_cost(
+                        count, width, ctx.counters
+                    )
                 else:
-                    cost = _staging_transfer(attribute, staged_bytes, ctx)
-                    ctx.note("pcie-transfer", cost)
-            finally:
-                device.free(bounce)
-    if count and not kernel_charged:
-        if chunks == 1:
-            kernel_cost = ctx.platform.gpu.reduction_cost(
-                count, width, ctx.counters
-            )
-        else:
-            per_chunk = math.ceil(count / chunks)
-            kernel_cost = _chunked_reduction_cost(ctx, count, per_chunk, width)
-        ctx.note(f"gpu-reduce({attribute})", kernel_cost)
-    # Returning the scalar to the host is one tiny device->host copy.
-    result_cost = ctx.platform.staging.scheduler.transfer(width, ctx.counters)
-    ctx.note("result-copy", result_cost)
+                    per_chunk = math.ceil(count / chunks)
+                    kernel_cost = _chunked_reduction_cost(
+                        ctx, count, per_chunk, width
+                    )
+                ctx.note(f"gpu-reduce({attribute})", kernel_cost)
+        # Returning the scalar to the host is one tiny device->host copy.
+        result_cost = ctx.platform.staging.scheduler.transfer(width, ctx.counters)
+        ctx.note("result-copy", result_cost)
     return total
 
 
@@ -339,53 +354,59 @@ def device_count_where(
         return 0  # empty relation
     staging = ctx.platform.staging
     width = fragments[0].schema.attribute(attribute).width
-    matches = 0
-    count = 0
-    misses: list[Fragment] = []
-    for fragment in fragments:
-        count += fragment.filled
-        entry = None
-        if not is_device_resident(fragment):
-            entry = (
-                staging.lookup(fragment, attribute, ctx.counters)
-                if charge_transfer
-                else None
-            )
-            if entry is None:
-                misses.append(fragment)
-        if not fragment.is_phantom:
-            values = (
-                entry.values
-                if entry is not None and entry.values is not None
-                else fragment.column(attribute)
-            )
-            if len(values):
-                mask = np.asarray(predicate(values), dtype=bool)
-                if mask.shape != values.shape:
-                    raise ExecutionError(
-                        f"predicate returned shape {mask.shape} for "
-                        f"{values.shape} values"
-                    )
-                matches += int(np.sum(mask))
-    staged_bytes = sum(fragment.filled * width for fragment in misses)
-    if staged_bytes and charge_transfer:
-        entries = staging.acquire(misses, attribute, width, ctx)
-        if entries is None:
-            # No room to cache the replicas: charge the same burst
-            # uncached (this path never allocated a bounce buffer).
-            cost = _staging_transfer(attribute, staged_bytes, ctx)
-            ctx.note("pcie-transfer", cost)
-    if count:
-        kernel_seconds = ctx.platform.gpu.streaming_kernel_seconds(
-            nbytes=count * width, ops=count * 2  # compare + ballot
-        )
-        kernel = (
-            ctx.platform.gpu.seconds_to_host_cycles(kernel_seconds)
-            + 2 * ctx.platform.gpu.launch_latency_cycles
-        )
-        ctx.charge(f"gpu-count-where({attribute})", kernel)
-        ctx.counters.kernel_launches += 2
-        ctx.counters.device_cycles += kernel_seconds * ctx.platform.gpu.clock_hz
-    result_cost = ctx.platform.staging.scheduler.transfer(8, ctx.counters)
-    ctx.note("result-copy", result_cost)
+    with ctx.span(f"device-count-where({attribute})", "operator"):
+        matches = 0
+        count = 0
+        misses: list[Fragment] = []
+        for fragment in fragments:
+            count += fragment.filled
+            entry = None
+            if not is_device_resident(fragment):
+                entry = (
+                    staging.lookup(fragment, attribute, ctx.counters)
+                    if charge_transfer
+                    else None
+                )
+                if entry is None:
+                    misses.append(fragment)
+            if not fragment.is_phantom:
+                values = (
+                    entry.values
+                    if entry is not None and entry.values is not None
+                    else fragment.column(attribute)
+                )
+                if len(values):
+                    mask = np.asarray(predicate(values), dtype=bool)
+                    if mask.shape != values.shape:
+                        raise ExecutionError(
+                            f"predicate returned shape {mask.shape} for "
+                            f"{values.shape} values"
+                        )
+                    matches += int(np.sum(mask))
+        staged_bytes = sum(fragment.filled * width for fragment in misses)
+        if staged_bytes and charge_transfer:
+            entries = staging.acquire(misses, attribute, width, ctx)
+            if entries is None:
+                # No room to cache the replicas: charge the same burst
+                # uncached (this path never allocated a bounce buffer).
+                cost = _staging_transfer(attribute, staged_bytes, ctx)
+                ctx.note("pcie-transfer", cost)
+        if count:
+            with ctx.span(
+                f"gpu-count-where({attribute})", "kernel", elements=count
+            ):
+                kernel_seconds = ctx.platform.gpu.streaming_kernel_seconds(
+                    nbytes=count * width, ops=count * 2  # compare + ballot
+                )
+                kernel = (
+                    ctx.platform.gpu.seconds_to_host_cycles(kernel_seconds)
+                    + 2 * ctx.platform.gpu.launch_latency_cycles
+                )
+                ctx.charge(f"gpu-count-where({attribute})", kernel)
+                ctx.counters.kernel_launches += 2
+                ctx.counters.device_cycles += (
+                    kernel_seconds * ctx.platform.gpu.clock_hz
+                )
+        result_cost = ctx.platform.staging.scheduler.transfer(8, ctx.counters)
+        ctx.note("result-copy", result_cost)
     return matches

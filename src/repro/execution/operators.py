@@ -136,8 +136,12 @@ def sum_column(layout: Layout, attribute: str, ctx: ExecutionContext) -> float:
         memory_cycles=memory,
         threads=ctx.threading.threads,
     )
-    ctx.charge(f"sum({attribute})", cycles)
-    ctx.counters.instructions += int(compute)
+    # The span wraps only the charge: all of the operator's simulated
+    # time accrues at this single point, so the span's begin/end cycles
+    # bracket exactly the operator's cost (zero observer effect).
+    with ctx.span(f"sum({attribute})", "operator", rows=layout.relation.row_count):
+        ctx.charge(f"sum({attribute})", cycles)
+        ctx.counters.instructions += int(compute)
     return total
 
 
@@ -184,7 +188,8 @@ def aggregate_column(
         memory_cycles=memory,
         threads=ctx.threading.threads,
     )
-    ctx.charge(f"{op}({attribute})", cycles)
+    with ctx.span(f"{op}({attribute})", "operator", rows=layout.relation.row_count):
+        ctx.charge(f"{op}({attribute})", cycles)
     if not partials:
         return identity
     if op == "sum":
@@ -252,7 +257,10 @@ def sum_at_positions(
         threads=ctx.threading.threads,
         latency_bound_cycles=latency,
     )
-    ctx.charge(f"sum({attribute})@{len(positions)}pos", cycles)
+    with ctx.span(
+        f"sum({attribute})@positions", "operator", rows=len(positions)
+    ):
+        ctx.charge(f"sum({attribute})@{len(positions)}pos", cycles)
     return total
 
 
@@ -310,7 +318,8 @@ def materialize_rows(
         threads=ctx.threading.threads,
         latency_bound_cycles=latency,
     )
-    ctx.charge(f"materialize@{len(positions)}pos", cycles)
+    with ctx.span("materialize", "operator", rows=len(positions)):
+        ctx.charge(f"materialize@{len(positions)}pos", cycles)
     return results
 
 
@@ -354,7 +363,10 @@ def filter_scan(
         memory_cycles=memory,
         threads=ctx.threading.threads,
     )
-    ctx.charge(f"filter({attribute})", cycles)
+    with ctx.span(
+        f"filter({attribute})", "operator", rows=layout.relation.row_count
+    ):
+        ctx.charge(f"filter({attribute})", cycles)
     return matches
 
 
@@ -370,18 +382,21 @@ def update_field(
     model = ctx.platform.memory_model
     staging = ctx.platform.staging
     touched = 0
-    for fragment in layout.fragments:
-        if fragment.region.contains(position, attribute):
-            local = position - fragment.region.rows.start
-            fragment.update_field(local, attribute, value)
-            # A write makes any staged device replica of this fragment
-            # stale: drop it so the next device query re-stages (the
-            # fragment's version bump catches missed paths as well).
-            staging.invalidate_fragment(fragment)
-            width = fragment.schema.attribute(attribute).width
-            cycles = model.random(count=1, touched=width, footprint=fragment.nbytes)
-            ctx.charge(f"update({attribute})", cycles)
-            ctx.counters.bytes_written += width
-            touched += 1
+    with ctx.span(f"update({attribute})", "operator", position=position):
+        for fragment in layout.fragments:
+            if fragment.region.contains(position, attribute):
+                local = position - fragment.region.rows.start
+                fragment.update_field(local, attribute, value)
+                # A write makes any staged device replica of this fragment
+                # stale: drop it so the next device query re-stages (the
+                # fragment's version bump catches missed paths as well).
+                staging.invalidate_fragment(fragment)
+                width = fragment.schema.attribute(attribute).width
+                cycles = model.random(
+                    count=1, touched=width, footprint=fragment.nbytes
+                )
+                ctx.charge(f"update({attribute})", cycles)
+                ctx.counters.bytes_written += width
+                touched += 1
     if touched == 0:
         raise ExecutionError(f"no fragment covers ({position}, {attribute!r})")

@@ -183,6 +183,9 @@ class FaultInjector:
     seed: int = 0
     specs: dict[str, FaultSpec] = field(default_factory=dict)
     report: ResilienceReport = field(default_factory=ResilienceReport)
+    #: Back-reference set by :meth:`install`; lets injections surface as
+    #: instant events on the platform's tracer (when one is attached).
+    platform: "Platform | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
@@ -238,6 +241,7 @@ class FaultInjector:
         )
         platform.gpu = dataclasses.replace(platform.gpu, injector=self)
         platform.injector = self
+        self.platform = platform
         return platform
 
     # ------------------------------------------------------------------
@@ -260,6 +264,11 @@ class FaultInjector:
         self.report.record_injected(site)
         if counters is not None:
             counters.faults_injected += 1
+            tracer = getattr(self.platform, "tracer", None)
+            if tracer is not None:
+                # Purely observational: the instant event reads the
+                # current cycle count and changes nothing.
+                tracer.instant(f"fault({site})", "fault", counters, site=site)
         return True
 
     def check(self, site: str, counters: "PerfCounters | None" = None) -> None:

@@ -78,9 +78,15 @@ class PerfCounters:
         return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter, preserving each field's declared type.
+
+        Under ``from __future__ import annotations`` a field's ``type``
+        is the *string* ``"int"``, so comparing it against the ``int``
+        class would silently reset integer counters to floats; deriving
+        the zero from the field's default keeps int counters int.
+        """
         for spec in fields(self):
-            setattr(self, spec.name, 0 if spec.type is int else 0.0)
+            setattr(self, spec.name, type(spec.default)())
 
 
 @dataclass

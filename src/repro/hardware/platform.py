@@ -67,10 +67,18 @@ class Platform:
         through ``__init__`` and therefore gets a fresh, cold cache —
         staged state never leaks between sweep points.  Imported lazily
         because the staging package sits above the hardware layer.
+
+        Also attaches the platform's tracer (``platform.tracer``): the
+        process-wide default from :func:`repro.obs.tracing` when one is
+        active, else ``None`` (tracing off — every instrumentation hook
+        is a no-op, the zero-observer-effect contract).  Assign a
+        :class:`~repro.obs.Tracer` directly to trace one platform.
         """
+        from repro.obs.tracer import default_tracer
         from repro.staging.manager import StagingManager
 
         self.staging = StagingManager(self)
+        self.tracer = default_tracer()
 
     @classmethod
     def paper_testbed(

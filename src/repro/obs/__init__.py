@@ -1,0 +1,65 @@
+"""repro.obs: simulated-time tracing, metrics and query profiling.
+
+The observability layer the paper's "responsive adaptability"
+requirement presupposes (Section IV-C): a storage engine can only adapt
+to its hot paths if it can *see* them.  Three cooperating pieces:
+
+* :class:`~repro.obs.tracer.Tracer` — hierarchical spans (query ->
+  operator -> kernel / PCIe burst / WAL append / reorg step) and
+  instant events (fault injections, staging hits/evictions), all
+  stamped on the **simulated cycle timeline** with a hard
+  zero-observer-effect contract;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counter/gauge/histogram
+  aggregation of :class:`~repro.hardware.event.PerfCounters` snapshots
+  per query and per engine, deriving the rates an adaptive scheduler
+  reads (staging hit rate, PCIe utilization, fault retry rate, WAL
+  group-commit size);
+* exporters and reports — Chrome/Perfetto trace-event JSON
+  (:mod:`repro.obs.export`), the ``explain(query)`` ASCII profile and
+  per-layer attribution (:mod:`repro.obs.profile`), and the library's
+  structured logger (:mod:`repro.obs.logging`).
+
+``python -m repro.obs`` runs a Figure-2 workload traced, emits
+``trace.json`` + the profile report, and gates the zero-observer and
+trace-schema checks (CI's obs-smoke job).  See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.logging import configure_cli_logging, get_logger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import explain, layer_attribution, render_span_tree
+from repro.obs.tracer import (
+    InstantEvent,
+    Span,
+    Tracer,
+    default_tracer,
+    nesting_violations,
+    set_default_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "InstantEvent",
+    "tracing",
+    "default_tracer",
+    "set_default_tracer",
+    "nesting_violations",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "explain",
+    "render_span_tree",
+    "layer_attribution",
+    "get_logger",
+    "configure_cli_logging",
+]

@@ -1,0 +1,234 @@
+"""Observability smoke CLI: ``python -m repro.obs``.
+
+Runs a Figure-2-shaped probe workload — a cold device sum (staging
+miss + PCIe burst + kernel), a warm repeat (staging hit), a host column
+sum, and a batch of WAL-logged transactions with group commit — under a
+fault injector that forces exactly one retried PCIe transfer, then:
+
+* writes the Perfetto-loadable Chrome trace (``--trace``) and validates
+  it against the minimal schema gate
+  (:func:`~repro.obs.export.validate_chrome_trace`);
+* re-runs the identical workload **untraced** and gates the
+  zero-observer-effect contract: both runs' final
+  :meth:`~repro.hardware.event.PerfCounters.snapshot` must be
+  byte-identical;
+* checks that spans from at least five distinct layers (query,
+  operator, kernel, pcie, wal) plus staging/fault instant events were
+  recorded, and that every span tree nests cleanly;
+* prints the :func:`~repro.obs.profile.explain` report and writes
+  ``BENCH_obs.json`` with the per-layer cycle attribution.
+
+The process exits non-zero when any gate fails, so CI's obs-smoke job
+can assert the whole observability contract in one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Sequence
+
+__all__ = ["run_figure2_workload", "main"]
+
+#: Span layers the probe workload must exercise (instants add
+#: ``staging`` and ``fault`` on top).
+REQUIRED_SPAN_LAYERS = ("query", "operator", "kernel", "pcie", "wal")
+
+
+def run_figure2_workload(
+    rows: int = 100_000, tracer: Any = None, seed: int = 7
+) -> dict[str, Any]:
+    """Run the probe workload once; return its artifacts.
+
+    *tracer* is installed as the process-wide default for the run (so
+    the platform built inside picks it up exactly like the Figure 2
+    drivers would); pass ``None`` for the untraced zero-observer
+    baseline.  Everything that costs simulated cycles runs inside an
+    observed query, so the :class:`~repro.obs.MetricsRegistry` totals
+    equal the context's final counters.
+    """
+    from repro.bench.figure2 import build_column_store
+    from repro.execution.context import ExecutionContext
+    from repro.execution.device import device_sum_column
+    from repro.execution.operators import sum_column
+    from repro.faults.injector import SITE_PCIE_TRANSFER, FaultInjector
+    from repro.faults.policy import RetryPolicy
+    from repro.hardware.event import PerfCounters
+    from repro.hardware.platform import Platform
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import set_default_tracer
+    from repro.recovery.wal import WriteAheadLog
+    from repro.workload.tpcc import item_relation
+
+    previous = set_default_tracer(tracer)
+    try:
+        platform = Platform.paper_testbed()
+        # Exactly one forced PCIe fault: the first burst attempt fails
+        # after burning its wire time, the retry policy absorbs it.
+        injector = FaultInjector(seed=seed)
+        injector.arm(SITE_PCIE_TRANSFER, 1.0, max_faults=1)
+        injector.install(platform)
+        wal = WriteAheadLog(platform, group_commit=4)
+        ctx = ExecutionContext(platform, retry=RetryPolicy())
+        ctx.wal = wal
+        store = build_column_store(platform, item_relation(rows))
+        registry = MetricsRegistry()
+
+        def observed(name: str, operation) -> None:
+            """One traced query: span + per-query counter delta."""
+            before = ctx.counters.snapshot()
+            with ctx.span(name, "query"):
+                operation(ctx)
+            after = ctx.counters.snapshot()
+            delta = PerfCounters(
+                **{key: after[key] - value for key, value in before.items()}
+            )
+            registry.observe_query(name, delta)
+
+        observed(
+            "q1-device-sum-cold",
+            lambda qctx: device_sum_column(store, "i_price", qctx),
+        )
+        observed(
+            "q2-device-sum-warm",
+            lambda qctx: device_sum_column(store, "i_price", qctx),
+        )
+        observed(
+            "q3-host-sum", lambda qctx: sum_column(store, "i_price", qctx)
+        )
+
+        def oltp_batch(qctx) -> None:
+            """Eight logged transactions; group commit flushes twice."""
+            for txn in range(1, 9):
+                wal.log_begin(txn, qctx)
+                wal.log_update(
+                    txn, "item", "i_price", txn, float(txn), float(txn + 1), qctx
+                )
+                wal.log_commit(txn, qctx)
+
+        observed("q4-oltp-commits", oltp_batch)
+
+        rates = registry.derive_rates(platform=platform, wal=wal)
+        return {
+            "rows": rows,
+            "snapshot": ctx.counters.snapshot(),
+            "breakdown": dict(ctx.breakdown.parts),
+            "rates": rates,
+            "metrics": registry.dump(),
+            "ctx": ctx,
+            "platform": platform,
+            "wal": wal,
+            "registry": registry,
+        }
+    finally:
+        set_default_tracer(previous)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the traced + untraced probes; write artifacts; 0 iff gates pass."""
+    from repro.obs.export import validate_chrome_trace, write_chrome_trace
+    from repro.obs.logging import configure_cli_logging, get_logger
+    from repro.obs.profile import explain, layer_attribution
+    from repro.obs.tracer import Tracer, nesting_violations
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace a Figure-2 probe workload and gate the "
+        "observability contracts (zero observer effect, trace schema).",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the reduced CI workload instead of the full one",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help="override the probe relation's row count",
+    )
+    parser.add_argument(
+        "--trace",
+        default="trace.json",
+        help="where to write the Chrome/Perfetto trace (default: trace.json)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_obs.json",
+        help="where to write the JSON record (default: BENCH_obs.json)",
+    )
+    options = parser.parse_args(argv)
+    configure_cli_logging()
+    logger = get_logger(__name__)
+
+    rows = options.rows or (100_000 if options.smoke else 1_000_000)
+    tracer = Tracer()
+    traced = run_figure2_workload(rows=rows, tracer=tracer)
+    untraced = run_figure2_workload(rows=rows, tracer=None)
+
+    # Gate 1: zero observer effect, byte for byte.
+    identical = json.dumps(traced["snapshot"], sort_keys=True) == json.dumps(
+        untraced["snapshot"], sort_keys=True
+    )
+
+    # Gate 2: the Chrome trace passes the schema validator.
+    frequency = traced["platform"].cpu.frequency_hz
+    events = write_chrome_trace(
+        options.trace, tracer, frequency, workload="figure2-probe", rows=rows
+    )
+    trace_problems = validate_chrome_trace(events)
+
+    # Gate 3: every span tree nests cleanly.
+    nesting: list[str] = []
+    for root in tracer.roots:
+        nesting.extend(nesting_violations(root))
+
+    # Gate 4: all required layers present (spans + instants).
+    span_layers = {span.category for span in tracer.spans()}
+    instant_layers = {event.category for event in tracer.events}
+    missing_layers = sorted(
+        set(REQUIRED_SPAN_LAYERS) - span_layers
+    ) + sorted({"staging", "fault"} - instant_layers)
+
+    attribution = layer_attribution(tracer)
+    record = {
+        "smoke": options.smoke,
+        "rows": rows,
+        "zero_observer_identical": identical,
+        "trace_file": options.trace,
+        "trace_events": len(events),
+        "trace_problems": trace_problems,
+        "nesting_violations": nesting,
+        "span_layers": sorted(span_layers),
+        "instant_layers": sorted(instant_layers),
+        "missing_layers": missing_layers,
+        "layer_attribution_cycles": attribution,
+        "rates": traced["rates"],
+        "metrics": traced["metrics"],
+    }
+    with open(options.output, "w", encoding="utf-8") as sink:
+        json.dump(record, sink, indent=2, sort_keys=True)
+
+    logger.info("%s", explain(traced["ctx"], tracer))
+    logger.info("")
+    logger.info("zero-observer: %s", "ok" if identical else "FAILED")
+    logger.info(
+        "trace schema: %s (%d events)",
+        "ok" if not trace_problems else f"FAILED {trace_problems}",
+        len(events),
+    )
+    logger.info(
+        "span nesting: %s", "ok" if not nesting else f"FAILED {nesting}"
+    )
+    logger.info(
+        "layers: %s",
+        "ok" if not missing_layers else f"FAILED, missing {missing_layers}",
+    )
+    passed = (
+        identical and not trace_problems and not nesting and not missing_layers
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI obs-smoke
+    raise SystemExit(main())

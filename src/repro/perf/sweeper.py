@@ -34,6 +34,8 @@ from dataclasses import dataclass
 from multiprocessing import Pool
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.obs.logging import configure_cli_logging, get_logger
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bench.ablations import SweepPoint
 
@@ -229,6 +231,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="write a JSON record (wall-clock and rows/s per sweep) here",
     )
     options = parser.parse_args(argv)
+    configure_cli_logging()
+    logger = get_logger(__name__)
     names = options.sweeps.split(",") if options.sweeps else None
     started = time.perf_counter()
     results = run_sweeps(names, workers=options.workers, smoke=options.smoke)
@@ -243,12 +247,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         with open(options.output, "w", encoding="utf-8") as sink:
             json.dump(record, sink, indent=2, sort_keys=True)
     for name, result in results.items():
-        print(
-            f"{name}: {len(result.points)} points, "
-            f"{result.wall_seconds:.2f}s wall, "
-            f"{result.rows_per_second:,.0f} rows/s"
+        logger.info(
+            "%s: %d points, %.2fs wall, %s rows/s",
+            name,
+            len(result.points),
+            result.wall_seconds,
+            f"{result.rows_per_second:,.0f}",
         )
-    print(f"total: {total_wall:.2f}s wall across {len(results)} sweeps")
+    logger.info(
+        "total: %.2fs wall across %d sweeps", total_wall, len(results)
+    )
     return 0
 
 

@@ -97,92 +97,106 @@ class RecoveryManager:
         start_cycles = ctx.counters.cycles
         records = self.wal.durable_records()
 
-        # ---- analysis: one sequential scan of the durable log -------
-        scan_bytes = sum(record.nbytes for record in records)
-        cost = ctx.platform.disk_model.sequential_read_cost(
-            scan_bytes, ctx.counters
-        )
-        ctx.note("recovery-analysis(log-scan)", cost)
-
-        begun: set[int] = set()
-        committed: set[int] = set()
-        aborted: set[int] = set()
-        reorgs_begun: dict[str, int] = {}
-        reorgs_done = 0
-        for record in records:
-            if record.kind is LogRecordKind.BEGIN:
-                begun.add(record.txn_id)
-            elif record.kind is LogRecordKind.COMMIT:
-                committed.add(record.txn_id)
-            elif record.kind is LogRecordKind.ABORT:
-                aborted.add(record.txn_id)
-            elif record.kind is LogRecordKind.REORG_BEGIN:
-                reorgs_begun[record.payload] = (
-                    reorgs_begun.get(record.payload, 0) + 1
+        with ctx.span(f"recover({name})", "recovery", records=len(records)):
+            # ---- analysis: one sequential scan of the durable log ---
+            with ctx.span("recovery-analysis", "recovery") as span:
+                scan_bytes = sum(record.nbytes for record in records)
+                cost = ctx.platform.disk_model.sequential_read_cost(
+                    scan_bytes, ctx.counters
                 )
-            elif record.kind in (
-                LogRecordKind.REORG_END,
-                LogRecordKind.REORG_ABORT,
+                ctx.note("recovery-analysis(log-scan)", cost)
+
+                begun: set[int] = set()
+                committed: set[int] = set()
+                aborted: set[int] = set()
+                reorgs_begun: dict[str, int] = {}
+                reorgs_done = 0
+                for record in records:
+                    if record.kind is LogRecordKind.BEGIN:
+                        begun.add(record.txn_id)
+                    elif record.kind is LogRecordKind.COMMIT:
+                        committed.add(record.txn_id)
+                    elif record.kind is LogRecordKind.ABORT:
+                        aborted.add(record.txn_id)
+                    elif record.kind is LogRecordKind.REORG_BEGIN:
+                        reorgs_begun[record.payload] = (
+                            reorgs_begun.get(record.payload, 0) + 1
+                        )
+                    elif record.kind in (
+                        LogRecordKind.REORG_END,
+                        LogRecordKind.REORG_ABORT,
+                    ):
+                        if reorgs_begun.get(record.payload, 0) > 0:
+                            reorgs_begun[record.payload] -= 1
+                            reorgs_done += 1
+                losers = begun - committed - aborted
+                incomplete_reorgs = sum(reorgs_begun.values())
+                if span is not None:
+                    span.attrs["losers"] = len(losers)
+
+            checkpoint = self.checkpoints.latest_complete(name, records)
+
+            # ---- load the checkpoint image into a fresh engine ------
+            with ctx.span(
+                "recovery-load", "recovery", checkpoint=checkpoint.checkpoint_id
             ):
-                if reorgs_begun.get(record.payload, 0) > 0:
-                    reorgs_begun[record.payload] -= 1
-                    reorgs_done += 1
-        losers = begun - committed - aborted
-        incomplete_reorgs = sum(reorgs_begun.values())
+                cost = ctx.platform.disk_model.sequential_read_cost(
+                    checkpoint.nbytes, ctx.counters
+                )
+                ctx.note(f"recovery-load({name})", cost)
+                engine = build_engine()
+                try:
+                    engine.managed(name)
+                except Exception as exc:
+                    raise RecoveryError(
+                        f"build_engine() must create relation {name!r} "
+                        "before recovery"
+                    ) from exc
+                engine.load(
+                    name,
+                    {
+                        attribute: np.array(column, copy=True)
+                        for attribute, column in checkpoint.columns.items()
+                    },
+                )
 
-        checkpoint = self.checkpoints.latest_complete(name, records)
+            # ---- redo: repeat history past the checkpoint ------------
+            redo = [
+                record
+                for record in records
+                if record.kind is LogRecordKind.UPDATE
+                and record.lsn > checkpoint.end_lsn
+                and record.relation == name
+            ]
+            with ctx.span("recovery-redo", "recovery", updates=len(redo)):
+                for record in redo:
+                    engine.update(
+                        name, record.position, record.attribute, record.after, ctx
+                    )
 
-        # ---- load the checkpoint image into a fresh engine ----------
-        cost = ctx.platform.disk_model.sequential_read_cost(
-            checkpoint.nbytes, ctx.counters
-        )
-        ctx.note(f"recovery-load({name})", cost)
-        engine = build_engine()
-        try:
-            engine.managed(name)
-        except Exception as exc:
-            raise RecoveryError(
-                f"build_engine() must create relation {name!r} before recovery"
-            ) from exc
-        engine.load(
-            name,
-            {
-                attribute: np.array(column, copy=True)
-                for attribute, column in checkpoint.columns.items()
-            },
-        )
+            # ---- undo: roll losers back in reverse-LSN order ---------
+            undo = [
+                record
+                for record in records
+                if record.kind is LogRecordKind.UPDATE
+                and record.txn_id in losers
+                and record.relation == name
+                and record.lsn > checkpoint.end_lsn
+            ]
+            with ctx.span("recovery-undo", "recovery", updates=len(undo)):
+                for record in reversed(undo):
+                    engine.update(
+                        name, record.position, record.attribute, record.before, ctx
+                    )
 
-        # ---- redo: repeat history past the checkpoint ----------------
-        redo = [
-            record
-            for record in records
-            if record.kind is LogRecordKind.UPDATE
-            and record.lsn > checkpoint.end_lsn
-            and record.relation == name
-        ]
-        for record in redo:
-            engine.update(name, record.position, record.attribute, record.after, ctx)
-
-        # ---- undo: roll losers back in reverse-LSN order -------------
-        undo = [
-            record
-            for record in records
-            if record.kind is LogRecordKind.UPDATE
-            and record.txn_id in losers
-            and record.relation == name
-            and record.lsn > checkpoint.end_lsn
-        ]
-        for record in reversed(undo):
-            engine.update(name, record.position, record.attribute, record.before, ctx)
-
-        # ---- engine-specific epilogue + cache hygiene ----------------
-        engine.on_recovered(name, ctx)
-        invalidate_cost_cache()
-        # Staged device replicas captured pre-crash state (including
-        # loser-transaction writes that undo just rolled back): drop
-        # them all so post-restart reads re-stage from the recovered
-        # columns.
-        ctx.platform.staging.invalidate_all()
+            # ---- engine-specific epilogue + cache hygiene ------------
+            engine.on_recovered(name, ctx)
+            invalidate_cost_cache()
+            # Staged device replicas captured pre-crash state (including
+            # loser-transaction writes that undo just rolled back): drop
+            # them all so post-restart reads re-stage from the recovered
+            # columns.
+            ctx.platform.staging.invalidate_all()
 
         replayed = len({record.txn_id for record in redo if record.txn_id in committed})
         cycles = ctx.counters.cycles - start_cycles

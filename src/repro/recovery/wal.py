@@ -198,7 +198,8 @@ class WriteAheadLog:
         self._next_lsn += 1
         self._tail.append(record)
         cost = self.platform.memory_model.sequential(2 * record.nbytes)
-        ctx.charge("wal-append", cost)
+        with ctx.span("wal-append", "wal", lsn=record.lsn, kind=record.kind.value):
+            ctx.charge("wal-append", cost)
         return record
 
     def log_begin(self, txn_id: int, ctx: "ExecutionContext") -> LogRecord:
@@ -311,19 +312,26 @@ class WriteAheadLog:
         self._pending_commits = 0
         injector = getattr(self.platform, "injector", None)
         crash = None
-        if injector is not None and injector.fires(SITE_WAL_TORN_WRITE, ctx.counters):
-            batch[-1] = dataclasses.replace(batch[-1], torn=True)
-            from repro.errors import EngineCrashed
-            from repro.faults.injector import FAULT_SITES
+        with ctx.span("wal-fsync", "wal", records=len(batch)) as span:
+            if injector is not None and injector.fires(
+                SITE_WAL_TORN_WRITE, ctx.counters
+            ):
+                batch[-1] = dataclasses.replace(batch[-1], torn=True)
+                from repro.errors import EngineCrashed
+                from repro.faults.injector import FAULT_SITES
 
-            description, _ = FAULT_SITES[SITE_WAL_TORN_WRITE]
-            crash = EngineCrashed(
-                f"injected fault at {SITE_WAL_TORN_WRITE!r}: {description}"
-            )
-            crash.injected = True
-        nbytes = sum(record.nbytes for record in batch)
-        cost = self.platform.disk_model.fsync_cost(nbytes, ctx.counters)
-        ctx.note("wal-fsync", cost)
+                description, _ = FAULT_SITES[SITE_WAL_TORN_WRITE]
+                crash = EngineCrashed(
+                    f"injected fault at {SITE_WAL_TORN_WRITE!r}: {description}"
+                )
+                crash.injected = True
+                if span is not None:
+                    span.attrs["torn"] = True
+            nbytes = sum(record.nbytes for record in batch)
+            if span is not None:
+                span.attrs["bytes"] = nbytes
+            cost = self.platform.disk_model.fsync_cost(nbytes, ctx.counters)
+            ctx.note("wal-fsync", cost)
         self._durable.extend(batch)
         self.flush_count += 1
         self.durable_bytes += nbytes

@@ -116,10 +116,25 @@ class StagingManager:
         """
         entry = self.cache.lookup(fragment, attribute)
         if counters is not None:
+            tracer = getattr(self.platform, "tracer", None)
             if entry is None:
                 counters.staging_misses += 1
+                if tracer is not None:
+                    tracer.instant(
+                        "staging-miss",
+                        "staging",
+                        counters,
+                        column=f"{fragment.label}.{attribute}",
+                    )
             else:
                 counters.staging_hits += 1
+                if tracer is not None:
+                    tracer.instant(
+                        "staging-hit",
+                        "staging",
+                        counters,
+                        column=f"{fragment.label}.{attribute}",
+                    )
         return entry
 
     def acquire(
@@ -168,10 +183,11 @@ class StagingManager:
                 # free; the cost resurfaces as a re-transfer on the
                 # evicted column's next miss.
                 self.cache.evict_lru()
+                self._trace_eviction(ctx.counters, reason="device-oom")
                 injector.report.record_recovered()
                 ctx.counters.fault_recoveries += 1
 
-        if not self._make_room(total, device):
+        if not self._make_room(total, device, ctx.counters):
             return None
 
         # Reserve the replica slots before charging the burst: if device
@@ -219,7 +235,9 @@ class StagingManager:
             entries.append(entry)
         return entries
 
-    def _make_room(self, nbytes: int, device) -> bool:
+    def _make_room(
+        self, nbytes: int, device, counters: PerfCounters | None = None
+    ) -> bool:
         """Evict LRU replicas until *nbytes* more fit; False if impossible."""
         cap = self.capacity_bytes
 
@@ -228,7 +246,16 @@ class StagingManager:
 
         while len(self.cache) and (not device.fits(nbytes) or over_cap()):
             self.cache.evict_lru()
+            self._trace_eviction(counters, reason="capacity")
         return device.fits(nbytes) and not over_cap()
+
+    def _trace_eviction(
+        self, counters: PerfCounters | None, reason: str
+    ) -> None:
+        """Record one replica eviction as an instant trace event."""
+        tracer = getattr(self.platform, "tracer", None)
+        if tracer is not None and counters is not None:
+            tracer.instant("staging-evict", "staging", counters, reason=reason)
 
     # ------------------------------------------------------------------
     # Invalidation hooks

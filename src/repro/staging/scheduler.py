@@ -105,10 +105,30 @@ class TransferScheduler:
         interconnect = self._platform.interconnect
         cost = interconnect.transfer_seconds(total) * interconnect.host_frequency_hz
         if counters is not None and total > 0:
-            counters.cycles += cost
-            injector = self._platform.injector
-            if injector is not None:
-                injector.check(SITE_PCIE_TRANSFER, counters)
+            # Each accounted attempt is one span on the simulated
+            # timeline — a retried burst therefore shows up once per
+            # attempt, exactly like its cycles.  Tracing reads the
+            # counters but never charges them (zero observer effect).
+            tracer = getattr(self._platform, "tracer", None)
+            span = (
+                tracer.begin(
+                    "pcie-burst", "pcie", counters, bytes=total, chunks=len(sizes)
+                )
+                if tracer is not None
+                else None
+            )
+            try:
+                counters.cycles += cost
+                injector = self._platform.injector
+                if injector is not None:
+                    injector.check(SITE_PCIE_TRANSFER, counters)
+            except BaseException:
+                if span is not None:
+                    span.attrs["faulted"] = True
+                raise
+            finally:
+                if span is not None:
+                    tracer.end(span, counters)
             counters.bytes_transferred += total
             counters.pcie_bytes += total
             counters.transfers += 1

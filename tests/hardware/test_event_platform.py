@@ -28,6 +28,24 @@ class TestPerfCounters:
         counters.reset()
         assert counters.cycles == 0 and counters.tlb_misses == 0
 
+    def test_reset_preserves_declared_counter_types(self):
+        """Regression: under ``from __future__ import annotations`` a
+        field's ``type`` is the string ``"int"``, so the old
+        ``spec.type is int`` check silently reset every integer counter
+        to ``0.0`` — after which snapshots and reports rendered event
+        counts as floats and byte-identity checks across resets failed."""
+        counters = PerfCounters(cycles=12.5, instructions=42, pcie_bytes=1024)
+        counters.reset()
+        assert counters.cycles == 0.0 and type(counters.cycles) is float
+        for name in ("instructions", "pcie_bytes", "staging_hits", "transfers"):
+            value = getattr(counters, name)
+            assert value == 0 and type(value) is int
+        # The whole snapshot must be byte-identical to a fresh bundle's.
+        assert counters.snapshot() == PerfCounters().snapshot()
+        assert [type(v) for v in counters.snapshot().values()] == [
+            type(v) for v in PerfCounters().snapshot().values()
+        ]
+
 
 class TestCostBreakdown:
     def test_accumulates_labels(self):

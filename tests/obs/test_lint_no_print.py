@@ -1,0 +1,54 @@
+"""Lint: no bare ``print()`` in library code — use ``repro.obs.logging``.
+
+CLI entry points (``__main__.py`` modules) may print; everything else in
+``src/repro/`` must go through the structured logger so output can be
+silenced, redirected or captured uniformly.  The check is AST-based so
+that docstrings and comments mentioning print are not false positives.
+"""
+
+import ast
+from pathlib import Path
+
+import repro
+
+
+def print_calls(path: Path) -> list[int]:
+    """Line numbers of bare ``print(...)`` calls in *path*."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+def test_no_bare_print_outside_cli_entry_points():
+    src_root = Path(repro.__file__).resolve().parent
+    offenders = []
+    for path in sorted(src_root.rglob("*.py")):
+        if path.name == "__main__.py":
+            continue  # CLI entry points own their stdout
+        for lineno in print_calls(path):
+            relative = path.relative_to(src_root.parent).as_posix()
+            offenders.append(f"{relative}:{lineno}")
+    assert not offenders, (
+        "bare print() in library code; route through "
+        "repro.obs.logging.get_logger() instead:\n" + "\n".join(offenders)
+    )
+
+
+def test_lint_helper_finds_prints(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text(
+        '"""print in a docstring is fine."""\n'
+        "# print in a comment is fine\n"
+        "def run(printer):\n"
+        "    printer('not a print call')\n"
+        "    print('flagged')\n",
+        encoding="utf-8",
+    )
+    assert print_calls(sample) == [5]

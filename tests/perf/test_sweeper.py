@@ -2,6 +2,7 @@
 grid splitting, and the BENCH_sweeps.json CLI record."""
 
 import json
+import logging
 
 import pytest
 
@@ -96,19 +97,20 @@ class TestSweepRegistry:
 
 
 class TestCli:
-    def test_smoke_run_writes_bench_record(self, tmp_path, capsys):
+    def test_smoke_run_writes_bench_record(self, tmp_path, caplog):
         output = tmp_path / "BENCH_sweeps.json"
-        code = main(
-            [
-                "--sweeps",
-                SPLITTABLE,
-                "--workers",
-                "1",
-                "--smoke",
-                "--output",
-                str(output),
-            ]
-        )
+        with caplog.at_level(logging.INFO, logger="repro.perf.sweeper"):
+            code = main(
+                [
+                    "--sweeps",
+                    SPLITTABLE,
+                    "--workers",
+                    "1",
+                    "--smoke",
+                    "--output",
+                    str(output),
+                ]
+            )
         assert code == 0
         record = json.loads(output.read_text())
         assert record["smoke"] is True
@@ -116,8 +118,8 @@ class TestCli:
         sweep = record["sweeps"][SPLITTABLE]
         assert sweep["wall_seconds"] > 0.0
         assert sweep["rows_per_second"] > 0.0
-        printed = capsys.readouterr().out
-        assert SPLITTABLE in printed
+        # Progress goes through the structured logger, not print().
+        assert SPLITTABLE in caplog.text
 
 
 def test_run_sweeps_preserves_registry_order():
