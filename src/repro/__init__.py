@@ -34,11 +34,14 @@ from repro.core import (
     satisfies_all,
 )
 from repro.errors import (
+    DeadlineExceeded,
     DeviceError,
     EngineCrashed,
+    NodeUnavailable,
     RecoveryError,
     ReorganizationAborted,
     ReproError,
+    ShardRetryExhausted,
     TransferError,
     WalError,
 )
@@ -66,6 +69,14 @@ from repro.recovery import (
     WriteAheadLog,
     run_crash_recover,
 )
+from repro.sharding import (
+    FailureDetector,
+    Router,
+    ShardedExecutor,
+    ShardingScheme,
+    ShardMap,
+    run_chaos,
+)
 
 __version__ = "1.0.0"
 
@@ -78,6 +89,9 @@ __all__ = [
     "EngineCrashed",
     "WalError",
     "RecoveryError",
+    "NodeUnavailable",
+    "ShardRetryExhausted",
+    "DeadlineExceeded",
     "FaultInjector",
     "RetryPolicy",
     "CircuitBreaker",
@@ -108,4 +122,10 @@ __all__ = [
     "RecoveryManager",
     "ReplicatedLog",
     "run_crash_recover",
+    "ShardingScheme",
+    "ShardMap",
+    "Router",
+    "FailureDetector",
+    "ShardedExecutor",
+    "run_chaos",
 ]

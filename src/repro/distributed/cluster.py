@@ -30,15 +30,26 @@ class NetworkModel:
     latency_s: float = 100.0e-6
     host_frequency_hz: float = 2.6e9
 
-    def transfer_cost(self, nbytes: int, counters: PerfCounters | None = None) -> Cycles:
-        """Host cycles to move *nbytes* node-to-node once."""
+    def peek_transfer_cost(self, nbytes: int) -> Cycles:
+        """Estimate the cycles to move *nbytes* without charging anyone.
+
+        The planning-time variant of :meth:`transfer_cost`, mirroring
+        the staging cache's ``peek`` convention: routers and placement
+        planners compare candidate assignments with this method so a
+        plan that is merely *considered* never shows up in a run's
+        counters (a lint test pins that the router calls only this).
+        """
         if nbytes < 0:
             raise DistributedError(f"transfer size must be >= 0, got {nbytes}")
         if nbytes == 0:
             return 0.0
         seconds = self.latency_s + nbytes / self.bandwidth
-        cost = seconds * self.host_frequency_hz
-        if counters is not None:
+        return seconds * self.host_frequency_hz
+
+    def transfer_cost(self, nbytes: int, counters: PerfCounters | None = None) -> Cycles:
+        """Host cycles to move *nbytes* node-to-node once."""
+        cost = self.peek_transfer_cost(nbytes)
+        if cost and counters is not None:
             counters.cycles += cost
             counters.bytes_transferred += nbytes
         return cost

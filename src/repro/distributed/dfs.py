@@ -10,6 +10,7 @@ owns the format.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -77,6 +78,11 @@ class BlockStore:
         #: (un)installed at any point in a store's life.
         self.injector = injector
         self._files: dict[str, DFSFile] = {}
+        #: Nodes currently unavailable: their replicas are skipped by
+        #: reads and they receive no new placements until
+        #: :meth:`restore_node`.  :meth:`fail_node` (disk loss) and
+        #: :meth:`mark_down` (process crash) both add here.
+        self._down: set[str] = set()
 
     # ------------------------------------------------------------------
     def write(self, path: str, payload: bytes) -> DFSFile:
@@ -91,9 +97,11 @@ class BlockStore:
         for index in range(0, max(len(payload), 1), self.block_size):
             chunk = payload[index : index + self.block_size]
             block = DFSBlock(index // self.block_size, len(chunk), chunk)
-            nodes = self.cluster.replica_nodes(
-                hash((path, block.index)) & 0x7FFFFFFF, self.replication
-            )
+            # crc32, not hash(): placement must be identical across
+            # processes (PYTHONHASHSEED randomizes str hashing), or two
+            # CLI runs of the same benchmark would shard differently.
+            key = zlib.crc32(f"{path}#{block.index}".encode()) & 0x7FFFFFFF
+            nodes = self._placement_nodes(key)
             for node in nodes:
                 block.replicas[node.name] = node.disk.allocate(
                     len(chunk), f"dfs:{path}#{block.index}"
@@ -101,6 +109,33 @@ class BlockStore:
             dfs_file.blocks.append(block)
         self._files[path] = dfs_file
         return dfs_file
+
+    def _placement_nodes(self, key: int) -> list[ClusterNode]:
+        """Pick ``replication`` placement targets, preferring up nodes.
+
+        With no nodes down this is exactly
+        :meth:`~repro.distributed.cluster.Cluster.replica_nodes`.  With
+        nodes down the rotation starting at the key's home is walked
+        past them, so new blocks (e.g. replicated WAL segments written
+        while a crashed node awaits replacement) land on available
+        disks; only when fewer than ``replication`` nodes are up do
+        down nodes fill the remainder (their replicas come back on
+        :meth:`restore_node`).
+        """
+        if not self._down:
+            return self.cluster.replica_nodes(key, self.replication)
+        start = key % len(self.cluster.nodes)
+        rotation = [
+            self.cluster.nodes[(start + offset) % len(self.cluster.nodes)]
+            for offset in range(len(self.cluster.nodes))
+        ]
+        up = [node for node in rotation if node.name not in self._down]
+        down = [node for node in rotation if node.name in self._down]
+        return (up + down)[: self.replication]
+
+    def _up_replicas(self, block: DFSBlock) -> list[str]:
+        """Names of the block's replicas on currently-available nodes."""
+        return [name for name in block.replicas if name not in self._down]
 
     def read(
         self,
@@ -112,6 +147,10 @@ class BlockStore:
 
         Blocks with a local replica cost nothing extra; remote blocks
         cost one network transfer each.  Returns (payload, cycles).
+        Replicas on down nodes (crashed, not yet restored) are skipped;
+        a block with no available replica raises
+        :class:`~repro.errors.DistributedError` — that is true data
+        unavailability, not an injected fault.
 
         When a fault injector is armed at ``dfs.block-read``, the
         nearest replica of a block may fail to read: with another
@@ -123,13 +162,19 @@ class BlockStore:
         payload = bytearray()
         cost: Cycles = 0.0
         for block in dfs_file.blocks:
+            available = self._up_replicas(block)
+            if not available:
+                raise DistributedError(
+                    f"block {path!r}#{block.index} has no available replica "
+                    f"({len(block.replicas)} total, all on down nodes)"
+                )
             payload.extend(block.payload)
-            if reader.name not in block.replicas:
+            if reader.name not in available:
                 cost += self.cluster.network.transfer_cost(block.size, counters)
             if self.injector is not None and self.injector.fires(
                 SITE_DFS_READ, counters
             ):
-                if len(block.replicas) <= 1:
+                if len(available) <= 1:
                     error = DistributedError(
                         f"injected fault at {SITE_DFS_READ!r}: block "
                         f"{path!r}#{block.index} unreadable and no other "
@@ -164,20 +209,32 @@ class BlockStore:
         return tuple(self._files)
 
     def under_replicated(self) -> list[tuple[str, int]]:
-        """(path, block index) pairs whose replica count is below target.
+        """(path, block index) pairs whose *available* replicas are below target.
 
         Empty in healthy stores; fault-injection tests knock replicas
         out via :meth:`fail_node` and assert re-replication accounting.
+        Replicas held by down nodes do not count — until the node is
+        restored they cannot serve a read.
         """
         problems: list[tuple[str, int]] = []
         for path, dfs_file in self._files.items():
             for block in dfs_file.blocks:
-                if len(block.replicas) < self.replication:
+                if len(self._up_replicas(block)) < self.replication:
                     problems.append((path, block.index))
         return problems
 
+    @property
+    def down_nodes(self) -> tuple[str, ...]:
+        """Names of nodes currently marked unavailable (sorted)."""
+        return tuple(sorted(self._down))
+
     def fail_node(self, node_name: str) -> int:
-        """Drop every replica held by *node_name*; returns replicas lost."""
+        """Disk loss: drop every replica held by *node_name* and mark it down.
+
+        Returns the number of replicas lost.  The node stays out of
+        read paths and placement decisions until :meth:`restore_node`
+        (modelling a replacement machine joining with an empty disk).
+        """
         node = self.cluster.node(node_name)
         lost = 0
         for dfs_file in self._files.values():
@@ -186,7 +243,37 @@ class BlockStore:
                 if allocation is not None:
                     node.disk.free(allocation)
                     lost += 1
+        self._down.add(node_name)
         return lost
+
+    def mark_down(self, node_name: str) -> int:
+        """Process crash: the node's replicas survive but cannot serve.
+
+        Unlike :meth:`fail_node` the disk contents are retained — a
+        restarted process (:meth:`restore_node`) brings them straight
+        back, which is the fail-stop model the sharded executor's
+        ``node.crash-mid-query`` site uses.  Returns the number of
+        replicas made unavailable.
+        """
+        self.cluster.node(node_name)  # validate the name
+        self._down.add(node_name)
+        return sum(
+            1
+            for dfs_file in self._files.values()
+            for block in dfs_file.blocks
+            if node_name in block.replicas
+        )
+
+    def restore_node(self, node_name: str) -> None:
+        """Bring a down node back into read and placement rotation.
+
+        After :meth:`mark_down` its retained replicas become readable
+        again; after :meth:`fail_node` it rejoins empty and
+        :meth:`re_replicate` may place new replicas on it.  Restoring
+        an already-up node is a no-op; unknown names are an error.
+        """
+        self.cluster.node(node_name)  # validate the name
+        self._down.discard(node_name)
 
     def inject_node_crash(
         self,
@@ -219,34 +306,86 @@ class BlockStore:
             # caller's accounting attributes it correctly.
             error.injected = True
             raise
+        # The victim rejoins with an empty disk (replacement machine),
+        # keeping it eligible for later crashes and placements.
+        self.restore_node(victim)
         self.injector.report.record_recovered()
         if counters is not None:
             counters.fault_recoveries += 1
         return victim
 
-    def re_replicate(self, counters: PerfCounters | None = None) -> int:
-        """Restore the replication target for every under-replicated block.
-
-        Each repaired replica costs one network transfer of the block.
-        Returns the number of replicas created.
-        """
-        created = 0
+    def _first_under_replicated(self) -> tuple[str, DFSBlock] | None:
+        """The first (path, block) below target, in stable file order."""
         for path, dfs_file in self._files.items():
             for block in dfs_file.blocks:
-                candidates = [
-                    node
-                    for node in self.cluster.nodes
-                    if node.name not in block.replicas
+                if len(self._up_replicas(block)) < self.replication:
+                    return path, block
+        return None
+
+    def re_replicate(
+        self,
+        counters: PerfCounters | None = None,
+        crash_site: str | None = None,
+    ) -> int:
+        """Restore the replication target for every under-replicated block.
+
+        Each repaired replica costs one network transfer of the block
+        and is sourced from a surviving available replica — a block
+        with **zero** available replicas is lost and raises
+        :class:`~repro.errors.DistributedError` (replication's honest
+        limit).  New replicas land only on up nodes; when too few are
+        up to meet the target the repair also raises.
+
+        The loop is convergent under cascading failures: pass
+        *crash_site* (e.g. ``cluster.node-crash``) to check the shared
+        injector after every repaired replica — a firing kills one more
+        up node mid-repair (disk loss) and the scan restarts, so blocks
+        un-repaired by the second failure are revisited.  Each absorbed
+        mid-repair crash is recorded as *recovered* once the store
+        converges.  Returns the number of replicas created.
+        """
+        created = 0
+        absorbed_crashes = 0
+        while True:
+            problem = self._first_under_replicated()
+            if problem is None:
+                break
+            path, block = problem
+            if not self._up_replicas(block):
+                raise DistributedError(
+                    f"block {path!r}#{block.index} lost: no surviving "
+                    "replica to re-replicate from"
+                )
+            candidates = [
+                node
+                for node in self.cluster.nodes
+                if node.name not in block.replicas and node.name not in self._down
+            ]
+            if not candidates:
+                raise DistributedError(
+                    f"not enough nodes to re-replicate {path!r}#{block.index}"
+                )
+            node = candidates[0]
+            block.replicas[node.name] = node.disk.allocate(
+                block.size, f"dfs:{path}#{block.index}"
+            )
+            self.cluster.network.transfer_cost(block.size, counters)
+            created += 1
+            if (
+                crash_site is not None
+                and self.injector is not None
+                and self.injector.fires(crash_site, counters)
+            ):
+                victims = [
+                    candidate.name
+                    for candidate in self.cluster.nodes
+                    if candidate.name not in self._down
                 ]
-                while len(block.replicas) < self.replication:
-                    if not candidates:
-                        raise DistributedError(
-                            f"not enough nodes to re-replicate {path!r}#{block.index}"
-                        )
-                    node = candidates.pop(0)
-                    block.replicas[node.name] = node.disk.allocate(
-                        block.size, f"dfs:{path}#{block.index}"
-                    )
-                    self.cluster.network.transfer_cost(block.size, counters)
-                    created += 1
+                if victims:
+                    self.fail_node(self.injector.choice(victims))
+                    absorbed_crashes += 1
+        if absorbed_crashes and self.injector is not None:
+            self.injector.report.record_recovered(absorbed_crashes)
+            if counters is not None:
+                counters.fault_recoveries += absorbed_crashes
         return created

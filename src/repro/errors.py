@@ -140,3 +140,37 @@ class ClassificationError(ReproError):
 
 class DistributedError(ReproError):
     """A simulated cluster operation failed (unknown node, under-replication)."""
+
+
+class NodeUnavailable(DistributedError):
+    """A cluster node cannot serve: it crashed or its lease expired.
+
+    Raised by the sharded scatter-gather executor when the node a
+    sub-query was dispatched to dies mid-flight (the
+    ``node.crash-mid-query`` fault site) or when the failure detector
+    refuses a node whose heartbeat lease has lapsed.  Absorbable: the
+    failover path re-runs the sub-query on a surviving DFS replica.
+    """
+
+
+class ShardRetryExhausted(DistributedError):
+    """A shard sub-query failed on every surviving replica.
+
+    The failover state machine tried the shard's primary and every
+    remaining replica candidate without success — either the cluster
+    lost too many nodes at once or the shard's blocks lost every
+    replica (true data loss below the replication factor).  The
+    ``__cause__`` chain carries the final per-node error.
+    """
+
+
+class DeadlineExceeded(ExecutionError):
+    """A retry policy's total-backoff deadline was hit before success.
+
+    :class:`~repro.faults.RetryPolicy` raises this when the next
+    backoff delay would push the cumulative backoff of one ``run()``
+    past ``max_total_cycles`` — bounded-latency paths (shard failover,
+    hedged dispatch) prefer surfacing over waiting forever.  Carries
+    ``injected = True`` when the final absorbed error was injected, so
+    chaos accounting attributes the surfaced fault correctly.
+    """

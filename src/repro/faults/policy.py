@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.errors import (
     CapacityError,
+    DeadlineExceeded,
     DeviceError,
     ExecutionError,
     TransferError,
@@ -79,6 +80,14 @@ class RetryPolicy:
         Where absorbed injected faults are tallied (optional).
     seed:
         Seed of the jitter RNG.
+    max_total_cycles:
+        Deadline cap on the *cumulative* backoff charged by one
+        :meth:`run` call (``None`` = unbounded, the historical
+        behaviour).  When the next jittered delay would push the total
+        past the cap, the policy stops retrying and raises
+        :class:`~repro.errors.DeadlineExceeded` chaining the last
+        failure — bounded-latency callers (the shard-failover path)
+        cannot tolerate unbounded exponential backoff.
     """
 
     max_attempts: int = 3
@@ -88,6 +97,7 @@ class RetryPolicy:
     retry_on: tuple[type[Exception], ...] = (TransferError, DeviceError)
     report: ResilienceReport | None = None
     seed: int = 0
+    max_total_cycles: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -96,6 +106,10 @@ class RetryPolicy:
             raise ExecutionError("backoff must be >= 0 and multiplier >= 1")
         if not 0.0 <= self.jitter < 1.0:
             raise ExecutionError(f"jitter must be in [0,1), got {self.jitter}")
+        if self.max_total_cycles is not None and self.max_total_cycles < 0:
+            raise ExecutionError(
+                f"max_total_cycles must be >= 0, got {self.max_total_cycles}"
+            )
         self._rng = random.Random(self.seed)
 
     def run(
@@ -110,9 +124,13 @@ class RetryPolicy:
         given) under the breakdown label ``retry-backoff(<label>)``.
         The final failure — attempts exhausted — propagates to the
         caller un-tallied, so a downstream fallback chain (or the
-        harness) attributes its outcome exactly once.
+        harness) attributes its outcome exactly once.  When
+        ``max_total_cycles`` is set and the next delay would exceed it,
+        :class:`~repro.errors.DeadlineExceeded` is raised instead (also
+        un-tallied, carrying the last error's ``injected`` mark).
         """
         delay = self.backoff_cycles
+        total_backoff = 0.0
         for attempt in range(1, self.max_attempts + 1):
             try:
                 return operation()
@@ -122,6 +140,19 @@ class RetryPolicy:
                 jittered = delay * (
                     1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
                 )
+                if (
+                    self.max_total_cycles is not None
+                    and total_backoff + jittered > self.max_total_cycles
+                ):
+                    deadline = DeadlineExceeded(
+                        f"retry deadline for {label!r} exceeded: "
+                        f"{total_backoff + jittered:.0f} > "
+                        f"{self.max_total_cycles:.0f} backoff cycles "
+                        f"after {attempt} attempt(s)"
+                    )
+                    deadline.injected = _is_injected(error)
+                    raise deadline from error
+                total_backoff += jittered
                 if self.report is not None:
                     self.report.retry_attempts += 1
                     self.report.backoff_cycles += jittered

@@ -1,0 +1,163 @@
+"""CLI: run the distributed chaos matrix, write BENCH_distributed.json.
+
+``python -m repro.sharding`` drives
+:func:`repro.sharding.verifier.run_chaos` through two experiments:
+
+1. **Verification matrix** — seeds × fault sites (defaults match the CI
+   ``chaos-distributed`` job: seeds 5/23/101 × the three distributed
+   sites).  Each cell runs **twice** and the two runs must produce
+   identical resilience tallies and cycle totals (the determinism
+   gate), byte-identical answers vs. the single-node oracle, and a
+   balanced fault account.
+
+2. **Scale sweep** — nodes × shards × fault-rate at replication >= 2,
+   gating that **zero** faults surface past the failover machinery
+   (the data-safety guarantee: the coordinator never crashes and
+   re-replication keeps every block a live replica).
+
+Exits non-zero if any gate fails, so the CI job is a real check and
+not just an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Sequence
+
+from repro.sharding.verifier import CHAOS_SITES, run_chaos
+
+__all__ = ["main"]
+
+#: The scale sweep's (node_count, shard_count, fault_rate) grid.
+SWEEP_GRID: tuple[tuple[int, int, float], ...] = (
+    (3, 6, 0.02),
+    (4, 8, 0.05),
+    (5, 10, 0.05),
+    (5, 15, 0.10),
+)
+
+
+def _run_cell(seed: int, site: str, smoke: bool) -> tuple[dict, list[str]]:
+    """One matrix cell: two identical runs, all gates; returns (record, fails)."""
+    kwargs = dict(
+        seed=seed,
+        sites=(site,),
+        query_count=16 if smoke else 48,
+        row_count=512 if smoke else 2048,
+    )
+    first = run_chaos(**kwargs)
+    second = run_chaos(**kwargs)
+    problems: list[str] = []
+    if first.mismatched:
+        problems.append(f"{first.mismatched} answers diverged from the oracle")
+    if not first.accounting_ok:
+        problems.append("fault accounting does not balance")
+    if first.resilience != second.resilience:
+        problems.append("resilience tallies differ between identical runs")
+    if first.cycles != second.cycles:
+        problems.append("cycle totals differ between identical runs")
+    if first.data_lost:
+        problems.append(f"data lost {first.data_lost}x at replication 2")
+    record = first.to_dict()
+    record["deterministic"] = (
+        first.resilience == second.resilience and first.cycles == second.cycles
+    )
+    record["problems"] = problems
+    return record, problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: matrix + sweep, write the record, gate on failures."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sharding",
+        description="Distributed chaos harness: sharded scatter-gather with "
+        "mid-query failover vs. a single-node oracle.",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="5,23,101",
+        help="comma-separated chaos seeds (default: the CI matrix 5,23,101)",
+    )
+    parser.add_argument(
+        "--sites",
+        default=",".join(CHAOS_SITES),
+        help=f"comma-separated fault sites (default: {','.join(CHAOS_SITES)})",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the BENCH_distributed.json record here",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller streams and no sweep (fast local sanity check)",
+    )
+    options = parser.parse_args(argv)
+    seeds = [int(seed) for seed in options.seeds.split(",") if seed]
+    sites = [site for site in options.sites.split(",") if site]
+
+    started = time.perf_counter()
+    failures = 0
+    cells = []
+    for seed in seeds:
+        for site in sites:
+            record, problems = _run_cell(seed, site, options.smoke)
+            failures += 1 if problems else 0
+            cells.append(record)
+            resilience = record["resilience"]
+            print(
+                f"seed={seed:>3d} site={site:<21s} "
+                f"injected={resilience.get('injected', 0):4.0f} "
+                f"surfaced={resilience.get('surfaced', 0):3.0f} "
+                f"matched={record['matched']}/{record['queries']} "
+                f"det={str(record['deterministic']):<5s} "
+                f"{'ok' if not problems else 'FAIL: ' + '; '.join(problems)}"
+            )
+
+    sweep = []
+    if not options.smoke:
+        for node_count, shard_count, fault_rate in SWEEP_GRID:
+            result = run_chaos(
+                seed=seeds[0],
+                node_count=node_count,
+                shard_count=shard_count,
+                replication=2,
+                fault_rate=fault_rate,
+                sites=CHAOS_SITES,
+            )
+            surfaced = result.resilience.get("surfaced", 0)
+            ok = result.ok and surfaced == 0 and result.data_lost == 0
+            failures += 0 if ok else 1
+            sweep.append(result.to_dict())
+            print(
+                f"sweep nodes={node_count} shards={shard_count:>2d} "
+                f"rate={fault_rate:.2f} "
+                f"injected={result.resilience.get('injected', 0):4.0f} "
+                f"surfaced={surfaced:3.0f} "
+                f"failovers={result.executor['failovers']:3d} "
+                f"{'ok' if ok else 'FAIL'}"
+            )
+
+    record = {
+        "seeds": seeds,
+        "sites": sites,
+        "wall_seconds": time.perf_counter() - started,
+        "failures": failures,
+        "matrix": cells,
+        "sweep": sweep,
+    }
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as sink:
+            json.dump(record, sink, indent=2, sort_keys=True)
+    print(
+        f"{len(cells)} matrix cells + {len(sweep)} sweep cells, "
+        f"{failures} failures, {record['wall_seconds']:.2f}s wall"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI chaos-distributed
+    raise SystemExit(main())

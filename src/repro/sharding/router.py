@@ -1,0 +1,172 @@
+"""Query routing with partition pruning over a :class:`ShardMap`.
+
+The router is the *planning* half of scatter-gather: given a
+:class:`~repro.workload.queries.QuerySpec` it decides which shards the
+query touches (pruning the rest), which node each sub-query should run
+on, and what the gather responses are expected to cost on the wire.
+
+Planning must be free: considering a plan is not executing it.  The
+router therefore estimates network costs exclusively through
+:meth:`NetworkModel.peek_transfer_cost` — the non-charging variant — and
+a lint test (``tests/sharding/test_router.py``) pins that this module
+never calls the charging ``transfer_cost`` at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.hardware.event import Cycles
+from repro.sharding.placement import Shard, ShardMap
+from repro.workload.queries import QueryShape, QuerySpec
+
+__all__ = ["ShardTask", "QueryPlan", "Router"]
+
+_FLOAT = np.dtype(np.float64).itemsize
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One sub-query of a scatter: a shard, its node, and its rows.
+
+    Attributes
+    ----------
+    shard:
+        The shard the sub-query runs against.
+    node:
+        Name of the node the router *plans* to dispatch to (the shard's
+        primary at planning time; failover may land elsewhere).
+    positions:
+        Sorted global row positions this sub-query touches (empty for
+        full scans, meaning "every row the shard owns").
+    estimated_response_bytes:
+        Wire size of the expected partial result.
+    estimated_response_cycles:
+        Peeked (never charged) network cost of shipping that result to
+        the coordinator.
+    """
+
+    shard: Shard
+    node: str
+    positions: tuple[int, ...]
+    estimated_response_bytes: int
+    estimated_response_cycles: Cycles
+
+    @property
+    def row_count(self) -> int:
+        """Rows this sub-query touches on its shard."""
+        return len(self.positions) if self.positions else self.shard.row_count
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A routed query: surviving sub-queries plus pruning evidence.
+
+    Attributes
+    ----------
+    query:
+        The routed specification.
+    tasks:
+        One :class:`ShardTask` per un-pruned shard, shard-id order.
+    pruned_shards:
+        Shard ids the router proved the query cannot touch.
+    estimated_response_cycles:
+        Sum of the tasks' peeked gather costs (planning estimate only).
+    """
+
+    query: QuerySpec
+    tasks: tuple[ShardTask, ...]
+    pruned_shards: tuple[int, ...]
+    estimated_response_cycles: Cycles
+
+    @property
+    def fanout(self) -> int:
+        """How many shards the scatter actually touches."""
+        return len(self.tasks)
+
+
+class Router:
+    """Plans scatter-gather execution of queries over one shard map.
+
+    The router holds no execution state: it reads the map's geometry
+    (which shard owns which row, which node is primary) and the network
+    model's *peek* estimator, and emits immutable plans.
+    """
+
+    def __init__(self, shard_map: ShardMap) -> None:
+        self.shard_map = shard_map
+        self.network = shard_map.cluster.network
+
+    def _response_bytes(self, query: QuerySpec, rows: int) -> int:
+        """Wire size of one shard's partial result for *query*."""
+        if query.shape is QueryShape.POINT_MATERIALIZE:
+            # Each matched row ships every requested attribute.
+            return rows * len(query.attributes) * _FLOAT
+        if query.shape is QueryShape.POINT_UPDATE:
+            # The update sub-request ships per-row payloads; the reply
+            # is a fixed-size ack.
+            return _FLOAT
+        # Aggregations return one partial sum per attribute.
+        return len(query.attributes) * _FLOAT
+
+    def route(self, query: QuerySpec) -> QueryPlan:
+        """Prune, place, and cost *query* — without charging anything.
+
+        Position-bearing shapes are pruned to the shards owning at
+        least one requested position; full scans fan out to every
+        non-empty shard.  Raises :class:`~repro.errors.ExecutionError`
+        for attributes the map does not store.
+        """
+        unknown = set(query.attributes) - set(self.shard_map.attributes)
+        if unknown:
+            raise ExecutionError(
+                f"query touches unknown attributes {sorted(unknown)}; "
+                f"map stores {list(self.shard_map.attributes)}"
+            )
+        tasks: list[ShardTask] = []
+        touched: set[int] = set()
+        if query.shape is QueryShape.FULL_SUM:
+            shard_positions = {
+                shard.shard_id: ()
+                for shard in self.shard_map.shards
+                if shard.row_count
+            }
+        else:
+            shard_positions = {
+                shard_id: tuple(int(p) for p in members)
+                for shard_id, members in self.shard_map.prune(
+                    query.positions
+                ).items()
+            }
+        for shard_id, positions in sorted(shard_positions.items()):
+            shard = self.shard_map.shards[shard_id]
+            touched.add(shard_id)
+            rows = len(positions) if positions else shard.row_count
+            nbytes = self._response_bytes(query, rows)
+            tasks.append(
+                ShardTask(
+                    shard=shard,
+                    node=shard.primary,
+                    positions=positions,
+                    estimated_response_bytes=nbytes,
+                    estimated_response_cycles=self.network.peek_transfer_cost(
+                        nbytes
+                    ),
+                )
+            )
+        pruned = tuple(
+            shard.shard_id
+            for shard in self.shard_map.shards
+            if shard.shard_id not in touched
+        )
+        return QueryPlan(
+            query=query,
+            tasks=tuple(tasks),
+            pruned_shards=pruned,
+            estimated_response_cycles=sum(
+                task.estimated_response_cycles for task in tasks
+            ),
+        )

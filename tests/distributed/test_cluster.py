@@ -57,3 +57,31 @@ class TestNetwork:
     def test_negative_rejected(self):
         with pytest.raises(DistributedError):
             NetworkModel().transfer_cost(-1)
+
+
+class TestPeekTransferCost:
+    """The estimate-only variant planners may call freely."""
+
+    def test_peek_equals_the_charged_cost(self):
+        model = NetworkModel()
+        for nbytes in (0, 1, 4096, 1 << 20):
+            assert model.peek_transfer_cost(nbytes) == model.transfer_cost(nbytes)
+
+    def test_peek_never_touches_counters(self):
+        counters = PerfCounters()
+        NetworkModel().peek_transfer_cost(1 << 20)
+        assert counters.bytes_transferred == 0
+
+    def test_charging_variant_delegates_to_peek(self):
+        model = NetworkModel()
+        counters = PerfCounters()
+        cost = model.transfer_cost(512, counters)
+        assert cost == model.peek_transfer_cost(512)
+        assert counters.bytes_transferred == 512
+
+    def test_peek_zero_is_free(self):
+        assert NetworkModel().peek_transfer_cost(0) == 0.0
+
+    def test_peek_negative_rejected(self):
+        with pytest.raises(DistributedError):
+            NetworkModel().peek_transfer_cost(-1)

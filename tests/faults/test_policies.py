@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import (
     CapacityError,
+    DeadlineExceeded,
     DeviceError,
     EngineError,
     ExecutionError,
@@ -252,3 +253,65 @@ class TestReportInvariants:
         assert snapshot["retried"] == 1
         assert "resilience report" in report.render()
         assert "unaccounted" in report.render()
+
+
+class TestRetryDeadline:
+    """`max_total_cycles`: a hard cap on cumulative backoff."""
+
+    def test_deadline_raises_deadline_exceeded(self, ctx: ExecutionContext):
+        policy = RetryPolicy(
+            max_attempts=10, backoff_cycles=10_000.0, max_total_cycles=15_000.0
+        )
+        flaky = Flaky(failures=99)
+        with pytest.raises(DeadlineExceeded):
+            policy.run("op", flaky, ctx)
+        # First backoff (~10k) fits; the second (~20k) would blow the
+        # 15k budget, so the policy gives up after two attempts.
+        assert flaky.calls == 2
+
+    def test_deadline_chains_and_marks_the_last_error(
+        self, ctx: ExecutionContext
+    ):
+        policy = RetryPolicy(
+            max_attempts=10, backoff_cycles=10_000.0, max_total_cycles=0.0
+        )
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            policy.run("op", Flaky(failures=99), ctx)
+        assert isinstance(excinfo.value.__cause__, TransferError)
+        assert excinfo.value.injected  # propagated from the last error
+
+    def test_deadline_propagates_untallied(self, ctx: ExecutionContext):
+        report = ResilienceReport()
+        policy = RetryPolicy(
+            max_attempts=10,
+            backoff_cycles=10_000.0,
+            max_total_cycles=0.0,
+            report=report,
+        )
+        with pytest.raises(DeadlineExceeded):
+            policy.run("op", Flaky(failures=99), ctx)
+        # The deadline error is the caller's to attribute — the report
+        # saw no retry and stays balanced once the caller surfaces it.
+        assert report.retried == 0
+        assert report.retry_attempts == 0
+
+    def test_organic_deadline_is_not_marked_injected(
+        self, ctx: ExecutionContext
+    ):
+        def organic_error():
+            return TransferError("organic wire fault")
+
+        policy = RetryPolicy(
+            max_attempts=10, backoff_cycles=10_000.0, max_total_cycles=0.0
+        )
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            policy.run("op", Flaky(failures=99, error_factory=organic_error), ctx)
+        assert not excinfo.value.injected
+
+    def test_unbounded_when_unset(self, ctx: ExecutionContext):
+        policy = RetryPolicy(max_attempts=6, backoff_cycles=50_000.0)
+        assert policy.run("op", Flaky(failures=5), ctx) == "served"
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ExecutionError):
+            RetryPolicy(max_total_cycles=-1.0)

@@ -1,0 +1,57 @@
+"""FailureDetector: heartbeat/lease lag arithmetic on simulated time."""
+
+import pytest
+
+from repro.errors import DistributedError
+from repro.sharding import FailureDetector
+
+
+class TestDetectionLag:
+    def test_crash_on_a_heartbeat_boundary_waits_one_lease(self):
+        detector = FailureDetector(heartbeat_interval=100.0, lease_cycles=400.0)
+        assert detector.mark_crashed("node1", 1_000.0) == 400.0
+
+    def test_crash_between_beats_waits_to_the_next_boundary(self):
+        detector = FailureDetector(heartbeat_interval=100.0, lease_cycles=400.0)
+        # Crash at 1_030: next beat at 1_100, lease runs to 1_500.
+        assert detector.mark_crashed("node1", 1_030.0) == 470.0
+
+    def test_redeclaring_a_dead_node_is_free(self):
+        detector = FailureDetector()
+        first = detector.mark_crashed("node1", 0.0)
+        assert first > 0
+        assert detector.mark_crashed("node1", 123.0) == 0.0
+        assert detector.detections == 1
+
+    def test_lag_accumulates_in_the_snapshot(self):
+        detector = FailureDetector(heartbeat_interval=100.0, lease_cycles=400.0)
+        detector.mark_crashed("node1", 1_000.0)
+        detector.mark_crashed("node2", 1_030.0)
+        snap = detector.snapshot()
+        assert snap["detections"] == 2
+        assert snap["total_lag_cycles"] == 870.0
+        assert snap["currently_crashed"] == 2
+
+
+class TestLiveness:
+    def test_alive_until_declared(self):
+        detector = FailureDetector()
+        assert detector.is_alive("node1")
+        detector.mark_crashed("node1", 0.0)
+        assert not detector.is_alive("node1")
+
+    def test_revive_restores_liveness(self):
+        detector = FailureDetector()
+        detector.mark_crashed("node1", 0.0)
+        detector.revive("node1")
+        assert detector.is_alive("node1")
+        # A revived node can crash (and be charged) again.
+        assert detector.mark_crashed("node1", 0.0) > 0
+        assert detector.detections == 2
+
+
+def test_configuration_is_validated():
+    with pytest.raises(DistributedError):
+        FailureDetector(heartbeat_interval=0.0)
+    with pytest.raises(DistributedError):
+        FailureDetector(lease_cycles=-1.0)

@@ -1,0 +1,109 @@
+"""Router: pruning, peek-only planning, and the no-charge lint."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.sharding.router as router_module
+from repro.distributed.cluster import Cluster
+from repro.distributed.dfs import BlockStore
+from repro.errors import ExecutionError
+from repro.hardware.event import PerfCounters
+from repro.sharding import Router, ShardingScheme, ShardMap
+from repro.workload.queries import QueryShape, QuerySpec
+
+
+@pytest.fixture
+def router(columns):
+    cluster = Cluster(4)
+    dfs = BlockStore(cluster, replication=2, block_size=4096)
+    return Router(
+        ShardMap("orders", columns, cluster, dfs, 4, scheme=ShardingScheme.RANGE)
+    )
+
+
+class TestRouting:
+    def test_point_query_prunes_untouched_shards(self, router):
+        plan = router.route(
+            QuerySpec(QueryShape.POSITION_SUM, "orders", ("v",), (0, 1, 2))
+        )
+        assert plan.fanout == 1
+        assert plan.tasks[0].shard.shard_id == 0
+        assert sorted(plan.pruned_shards) == [1, 2, 3]
+
+    def test_full_scan_fans_out_everywhere(self, router):
+        plan = router.route(QuerySpec(QueryShape.FULL_SUM, "orders", ("v",)))
+        assert plan.fanout == 4
+        assert plan.pruned_shards == ()
+        assert all(task.positions == () for task in plan.tasks)
+
+    def test_tasks_target_the_primaries(self, router):
+        plan = router.route(QuerySpec(QueryShape.FULL_SUM, "orders", ("v",)))
+        for task in plan.tasks:
+            assert task.node == task.shard.primary
+
+    def test_response_estimates_scale_with_rows(self, router):
+        narrow = router.route(
+            QuerySpec(QueryShape.POINT_MATERIALIZE, "orders", ("k", "v"), (0,))
+        )
+        wide = router.route(
+            QuerySpec(QueryShape.POINT_MATERIALIZE, "orders", ("k", "v"), (0, 1, 2))
+        )
+        assert (
+            wide.tasks[0].estimated_response_bytes
+            > narrow.tasks[0].estimated_response_bytes
+        )
+        assert wide.estimated_response_cycles > 0
+
+    def test_unknown_attribute_rejected(self, router):
+        with pytest.raises(ExecutionError, match="unknown attributes"):
+            router.route(QuerySpec(QueryShape.FULL_SUM, "orders", ("nope",)))
+
+
+class TestPlanningIsFree:
+    def test_routing_never_reaches_the_charging_variant(
+        self, router, monkeypatch
+    ):
+        """Planning a scatter must not touch ``transfer_cost`` at runtime."""
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError(
+                "router planning called the charging transfer_cost"
+            )
+
+        monkeypatch.setattr(type(router.network), "transfer_cost", forbidden)
+        plan = router.route(QuerySpec(QueryShape.FULL_SUM, "orders", ("v",)))
+        router.route(
+            QuerySpec(QueryShape.POSITION_SUM, "orders", ("v",), (3, 77))
+        )
+        assert plan.estimated_response_cycles > 0
+
+    def test_peek_matches_charged_cost(self, router):
+        """The estimate equals what execution would actually charge."""
+        network = router.network
+        counters = PerfCounters()
+        charged = network.transfer_cost(4096, counters)
+        assert network.peek_transfer_cost(4096) == charged
+        assert counters.cycles == charged
+
+
+def test_lint_router_never_calls_the_charging_variant():
+    """The router may only use ``peek_transfer_cost`` during planning.
+
+    A direct ``.transfer_cost(`` call in the router would silently
+    charge whatever counters it was handed while *considering* plans;
+    this lint pins the estimate-only contract at the source level
+    (the ``peek_`` prefix keeps the peek variant unmatched).
+    """
+    source = Path(router_module.__file__).read_text(encoding="utf-8")
+    pattern = re.compile(r"(?<!peek_)\btransfer_cost\s*\(")
+    offenders = [
+        f"{number}: {line.strip()}"
+        for number, line in enumerate(source.splitlines(), start=1)
+        if pattern.search(line)
+    ]
+    assert not offenders, (
+        "router.py must plan with peek_transfer_cost only; "
+        "charging calls found:\n" + "\n".join(offenders)
+    )

@@ -1,0 +1,94 @@
+"""End-to-end chaos verification: oracle identity, determinism, safety."""
+
+import pytest
+
+from repro.sharding import CHAOS_SITES, run_chaos
+from repro.sharding.executor import (
+    SITE_NET_DROP_RESPONSE,
+    SITE_NET_SLOW_LINK,
+    SITE_SHARD_NODE_CRASH,
+)
+
+
+def small_run(**overrides):
+    """A fast chaos cell: small stream and relation, all sites armed."""
+    kwargs = dict(
+        seed=5,
+        query_count=16,
+        row_count=256,
+        shard_count=4,
+        fault_rate=0.1,
+    )
+    kwargs.update(overrides)
+    return run_chaos(**kwargs)
+
+
+class TestOracleIdentity:
+    def test_all_answers_match_under_faults(self):
+        result = small_run()
+        assert result.matched == result.queries
+        assert result.mismatched == 0
+        assert result.ok
+
+    def test_faults_were_actually_exercised(self):
+        result = small_run()
+        assert result.resilience["injected"] > 0
+
+
+class TestAccounting:
+    def test_every_injected_fault_has_one_outcome(self):
+        result = small_run()
+        resilience = result.resilience
+        assert resilience["injected"] == (
+            resilience["retried"]
+            + resilience["fallen_back"]
+            + resilience["recovered"]
+            + resilience["surfaced"]
+        )
+        assert result.accounting_ok
+
+    def test_replication_two_never_surfaces_or_loses_data(self):
+        for site in CHAOS_SITES:
+            result = small_run(sites=(site,), replication=2)
+            assert result.resilience["surfaced"] == 0, site
+            assert result.data_lost == 0, site
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self):
+        first = small_run()
+        second = small_run()
+        assert first.resilience == second.resilience
+        assert first.cycles == second.cycles
+        assert first.executor == second.executor
+        assert first.detector == second.detector
+
+    def test_different_seeds_diverge(self):
+        # Not a strict requirement per-site, but across all sites at a
+        # 10% rate two seeds injecting identical schedules would mean
+        # the seed is ignored.
+        first = small_run(seed=5)
+        second = small_run(seed=23)
+        assert (
+            first.resilience != second.resilience or first.cycles != second.cycles
+        )
+
+
+def test_registered_sites_are_the_documented_three():
+    assert CHAOS_SITES == (
+        SITE_SHARD_NODE_CRASH,
+        SITE_NET_DROP_RESPONSE,
+        SITE_NET_SLOW_LINK,
+    )
+    assert SITE_SHARD_NODE_CRASH == "node.crash-mid-query"
+    assert SITE_NET_DROP_RESPONSE == "net.drop-response"
+    assert SITE_NET_SLOW_LINK == "net.slow-link"
+
+
+def test_to_dict_is_json_ready():
+    import json
+
+    record = small_run(query_count=8).to_dict()
+    parsed = json.loads(json.dumps(record))
+    assert parsed["ok"] is True
+    assert parsed["sites"] == list(CHAOS_SITES)

@@ -41,3 +41,31 @@ def test_single_except_clause_suffices():
 
     with pytest.raises(ReproError):
         raise LayoutError("caught at the root")
+
+
+def test_distributed_failure_modes_are_distributed_errors():
+    from repro.errors import (
+        DistributedError,
+        NodeUnavailable,
+        ShardRetryExhausted,
+    )
+
+    assert issubclass(NodeUnavailable, DistributedError)
+    assert issubclass(ShardRetryExhausted, DistributedError)
+
+
+def test_deadline_exceeded_is_an_execution_error():
+    from repro.errors import DeadlineExceeded, DistributedError, ExecutionError
+
+    # A blown retry budget is the *executor's* verdict, not a network
+    # condition — it must not be swallowed by DistributedError handlers.
+    assert issubclass(DeadlineExceeded, ExecutionError)
+    assert not issubclass(DeadlineExceeded, DistributedError)
+
+
+def test_failover_errors_importable_from_package_root():
+    import repro
+
+    for name in ("NodeUnavailable", "ShardRetryExhausted", "DeadlineExceeded"):
+        assert getattr(repro, name) is getattr(errors_module, name)
+        assert name in repro.__all__
