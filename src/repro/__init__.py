@@ -37,12 +37,14 @@ from repro.errors import (
     DeadlineExceeded,
     DeviceError,
     EngineCrashed,
+    FusionError,
     NodeUnavailable,
     RecoveryError,
     ReorganizationAborted,
     ReproError,
     ShardRetryExhausted,
     TransferError,
+    UnsupportedPipelineError,
     WalError,
 )
 from repro.execution import (
@@ -58,6 +60,7 @@ from repro.faults import (
     ResilienceReport,
     RetryPolicy,
 )
+from repro.fusion import FusedPipeline, Pipeline, compile_pipeline
 from repro.hardware import Platform
 from repro.layout import Fragment, Layout, LinearizationKind, Region
 from repro.model import Relation, Schema
@@ -92,6 +95,11 @@ __all__ = [
     "NodeUnavailable",
     "ShardRetryExhausted",
     "DeadlineExceeded",
+    "FusionError",
+    "UnsupportedPipelineError",
+    "Pipeline",
+    "FusedPipeline",
+    "compile_pipeline",
     "FaultInjector",
     "RetryPolicy",
     "CircuitBreaker",

@@ -653,6 +653,88 @@ def staging_cache_sweep(
     return points
 
 
+def fusion_sweep(
+    selectivities: tuple[float, ...] = (0.02, 0.1, 0.5, 0.9),
+    row_count: int = 200_000,
+) -> list[SweepPoint]:
+    """A10: fused vs. unfused scan→filter→aggregate across selectivities.
+
+    The attribute-centric probe query (``sum(i_price) where i_im_id <
+    t``) runs four ways per selectivity cell: fused and unfused on the
+    host columns, fused and unfused on the device (cold staging run
+    first, the reported cycles are the warm second run).  Reported per
+    cell: both speedups, whether all four answers are byte-identical to
+    the unfused host oracle, and whether HyPE's uncalibrated route
+    features rank fused vs. unfused correctly on both placements — the
+    low-selectivity cells are where the unfused host path's
+    ``random(matches)`` term shrinks enough to win, the crossover the
+    ranking has to get right.
+    """
+    from repro.fusion import Pipeline, compile_pipeline, predicted_route_costs
+    from repro.fusion.device import run_fused_device
+    from repro.fusion.host import run_fused_host
+    from repro.fusion.oracle import run_unfused_device, run_unfused_host
+
+    points = []
+    for selectivity in selectivities:
+        threshold = int(10_000 * selectivity)
+        plan = compile_pipeline(
+            Pipeline.scan("i_im_id")
+            .filter(lambda values, t=threshold: values < t,
+                    selectivity_hint=selectivity)
+            .aggregate("sum", on="i_price")
+        )
+        platform = Platform.paper_testbed()
+        store = _materialized_column_store(platform, row_count)
+        ctx = ExecutionContext(platform)
+        oracle = run_unfused_host(plan, store, ctx)
+        unfused_host = ctx.cycles
+        ctx = ExecutionContext(platform)
+        fused_result = run_fused_host(plan, store, ctx)
+        fused_host = ctx.cycles
+        identical = fused_result == oracle
+
+        def warm_device(runner):
+            # A fresh platform per variant isolates the staging caches;
+            # the cold run stages the operands, the warm run is measured.
+            device_platform = Platform.paper_testbed()
+            device_store = _materialized_column_store(device_platform, row_count)
+            runner(plan, device_store, ExecutionContext(device_platform))
+            warm_ctx = ExecutionContext(device_platform)
+            value = runner(plan, device_store, warm_ctx)
+            return value, warm_ctx.cycles, device_platform, device_store
+
+        fused_value, fused_device, warm_platform, warm_store = warm_device(
+            run_fused_device
+        )
+        unfused_value, unfused_device, __, __ = warm_device(run_unfused_device)
+        identical = identical and fused_value == oracle and unfused_value == oracle
+
+        host_costs = predicted_route_costs(plan, store, platform, selectivity)
+        warm_costs = predicted_route_costs(
+            plan, warm_store, warm_platform, selectivity
+        )
+        rank_correct = (
+            (host_costs["fused-cpu"] < host_costs["unfused-cpu"])
+            == (fused_host < unfused_host)
+        ) and (
+            (warm_costs["fused-gpu"] < warm_costs["unfused-gpu"])
+            == (fused_device < unfused_device)
+        )
+        points.append(
+            SweepPoint(
+                knob=selectivity,
+                outcomes={
+                    "host_speedup": unfused_host / fused_host,
+                    "device_speedup": unfused_device / fused_device,
+                    "identical": 1.0 if identical else 0.0,
+                    "hype_rank_correct": 1.0 if rank_correct else 0.0,
+                },
+            )
+        )
+    return points
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """A registry entry describing one ablation sweep to the sweep runner.
@@ -777,6 +859,12 @@ SWEEPS: dict[str, SweepSpec] = {
                 "row_count": 50_000,
                 "queries": 12,
             },
+        ),
+        SweepSpec(
+            "fusion",
+            fusion_sweep,
+            grid_kwarg="selectivities",
+            smoke_kwargs={"selectivities": (0.1, 0.9), "row_count": 50_000},
         ),
     )
 }

@@ -51,6 +51,12 @@ from repro.faults.policy import (
     FallbackStep,
 )
 from repro.execution.operators import materialize_rows, sum_at_positions, sum_column
+from repro.fusion.compiler import FusedPipeline, compile_pipeline
+from repro.fusion.costs import PIPELINE_ROUTES, predicted_route_costs
+from repro.fusion.device import run_fused_device
+from repro.fusion.host import run_fused_host
+from repro.fusion.oracle import run_unfused_device, run_unfused_host
+from repro.fusion.pipeline import Pipeline
 from repro.hardware.platform import Platform
 from repro.layout.fragment import Fragment
 from repro.layout.layout import Layout
@@ -127,6 +133,60 @@ class HypeScheduler:
         choice = "gpu" if gpu < cpu else "cpu"
         self.decisions.append(choice)
         return choice
+
+    # ------------------------------------------------------------------
+    # Fused-operator cost features (pipeline routing)
+    # ------------------------------------------------------------------
+    def raw_predict_pipeline(
+        self,
+        plan: FusedPipeline,
+        layout: Layout,
+        selectivity: float | None = None,
+    ) -> dict[str, float]:
+        """Uncalibrated predicted cycles per pipeline route (pure).
+
+        Delegates to :func:`repro.fusion.costs.predicted_route_costs`,
+        so the features HyPE learns from are the same expressions the
+        fused and unfused executors charge — cache-aware transfer
+        terms included.
+        """
+        return predicted_route_costs(plan, layout, self.platform, selectivity)
+
+    def predict_pipeline(
+        self,
+        plan: FusedPipeline,
+        layout: Layout,
+        selectivity: float | None = None,
+    ) -> dict[str, float]:
+        """Calibrated predictions: each route scaled by its device's factor.
+
+        A route's calibration is decided by its placement suffix — the
+        ``*-cpu`` routes share the host factor, the ``*-gpu`` routes the
+        device factor — so observations from the scalar operators
+        (:meth:`observe`) transfer to pipelines and vice versa.
+        """
+        raw = self.raw_predict_pipeline(plan, layout, selectivity)
+        return {
+            route: cost
+            * (
+                self.gpu_calibration
+                if route.endswith("-gpu")
+                else self.cpu_calibration
+            )
+            for route, cost in raw.items()
+        }
+
+    def choose_pipeline_route(
+        self,
+        plan: FusedPipeline,
+        layout: Layout,
+        selectivity: float | None = None,
+    ) -> str:
+        """The cheapest calibrated route for *plan* (recorded in decisions)."""
+        predictions = self.predict_pipeline(plan, layout, selectivity)
+        route = min(PIPELINE_ROUTES, key=lambda name: predictions[name])
+        self.decisions.append(route)
+        return route
 
     def observe(self, device: str, raw_predicted: float, observed: float) -> None:
         """Fold one (raw prediction, observation) pair into the calibration.
@@ -341,6 +401,86 @@ class CoGaDBEngine(StorageEngine):
                     span.attrs["served_by"] = "cpu"
                 self.scheduler.observe(
                     "cpu", cpu_prediction, ctx.counters.cycles - before
+                )
+        return result
+
+    def run_pipeline(
+        self,
+        name: str,
+        pipeline: "Pipeline | FusedPipeline",
+        ctx: ExecutionContext,
+        selectivity: float | None = None,
+    ) -> float:
+        """Compile and HyPE-route a scan→filter→project→aggregate chain.
+
+        The scheduler ranks the four placements of
+        :data:`~repro.fusion.costs.PIPELINE_ROUTES` with calibrated
+        fused-operator features and runs the winner; device routes
+        degrade through the engine's fallback chain to their host
+        counterpart (fused-gpu falls back to fused execution on the
+        host columns), and HyPE learns from whichever placement
+        actually served — fallbacks train the host factor, never
+        rewrite the decision log.
+        """
+        plan = compile_pipeline(pipeline)
+        managed = self.managed(name)
+        self.record_access(
+            name, AccessKind.READ, plan.attributes, managed.relation.row_count
+        )
+        if managed.relation.row_count == 0:
+            return plan.identity
+        mixed = managed.primary_layout
+        host_layout = managed.layouts[1]
+        # One fragment per operand attribute: the mixed layout keeps the
+        # device replica routed ahead of its host fallback, and a fused
+        # kernel reading both copies would double-count.
+        view_fragments = [
+            mixed.fragments_for_attribute(attribute)[0]
+            for attribute in plan.attributes
+        ]
+        gpu_view = Layout(
+            f"{name}/gpu-view", managed.relation, view_fragments,
+            allow_overlap=True, validate=False,
+        )
+        on_device = all(is_device_resident(f) for f in view_fragments)
+        before = ctx.counters.cycles
+        raw = self.scheduler.raw_predict_pipeline(plan, gpu_view, selectivity)
+        route = self.scheduler.choose_pipeline_route(plan, gpu_view, selectivity)
+        with ctx.span(
+            f"cogadb-pipeline({plan.describe()})",
+            "operator",
+            hype_route=route,
+            on_device=on_device,
+        ) as span:
+            if route.endswith("-gpu"):
+                fused = route == "fused-gpu"
+                device_run = run_fused_device if fused else run_unfused_device
+                host_run = run_fused_host if fused else run_unfused_host
+                chain = self._device_chain(
+                    lambda: device_run(plan, gpu_view, ctx),
+                    lambda: host_run(plan, host_layout, ctx),
+                )
+                result, served_by = chain.run(ctx)
+                if span is not None:
+                    span.attrs["served_by"] = served_by
+                if served_by == "gpu":
+                    self.scheduler.observe(
+                        "gpu", raw[route], ctx.counters.cycles - before
+                    )
+                else:
+                    self.scheduler.decisions.append("cpu-fallback")
+                    self.scheduler.observe(
+                        "cpu",
+                        raw[route.replace("-gpu", "-cpu")],
+                        ctx.counters.cycles - before,
+                    )
+            else:
+                runner = run_fused_host if route == "fused-cpu" else run_unfused_host
+                result = runner(plan, host_layout, ctx)
+                if span is not None:
+                    span.attrs["served_by"] = "cpu"
+                self.scheduler.observe(
+                    "cpu", raw[route], ctx.counters.cycles - before
                 )
         return result
 

@@ -92,6 +92,28 @@ class DeviceError(ExecutionError):
     """
 
 
+class FusionError(ExecutionError):
+    """A fused pipeline was built or executed incorrectly.
+
+    Raised for malformed pipeline specifications (missing terminal
+    aggregate, out-of-range selectivity hints) and for fused executions
+    that cannot produce a data-plane answer (a filter over phantom
+    fragments has no values to test, exactly like ``filter_scan``).
+    """
+
+
+class UnsupportedPipelineError(FusionError):
+    """A pipeline shape the fusion compiler refuses to compile.
+
+    The compiler fuses scan→[filter]→[project…]→aggregate chains only;
+    shapes outside that grammar (a second filter, a projection with no
+    preceding filter, stages after the terminal aggregate) raise this
+    at :func:`~repro.fusion.compile_pipeline` time — never at run time —
+    so the unfused oracle and the fused path always agree on what a
+    plan means.
+    """
+
+
 class ReorganizationAborted(ExecutionError):
     """An online layout re-organization was interrupted mid-flight.
 

@@ -7,6 +7,12 @@ improved CPU data cache efficiency."  A bulk pipeline moves vectors of
 interface overhead is paid once per *vector* instead of once per tuple
 — the structural advantage over Volcano that the processing-model
 ablation benchmark quantifies.
+
+Since the fusion layer landed there is exactly **one** vector-at-a-time
+code path in the tree: :func:`repro.fusion.host.vector_pass`.  The
+classes and helpers here are thin declarative wrappers over it — same
+charge sequence, same labels, same outputs as the historical
+implementation (the processing-model tests pin that byte-for-byte).
 """
 
 from __future__ import annotations
@@ -21,13 +27,11 @@ from repro.execution.context import ExecutionContext
 from repro.execution.operators import (
     ADD_CYCLES_PER_VALUE,
     PREDICATE_CYCLES_PER_VALUE,
-    column_scan_cost,
 )
+from repro.fusion.host import DEFAULT_VECTOR_SIZE, vector_pass
 from repro.layout.layout import Layout
 
-__all__ = ["BulkPipeline", "bulk_sum", "bulk_count_where"]
-
-DEFAULT_VECTOR_SIZE = 1024
+__all__ = ["BulkPipeline", "bulk_sum", "bulk_count_where", "DEFAULT_VECTOR_SIZE"]
 
 
 class BulkPipeline:
@@ -35,7 +39,9 @@ class BulkPipeline:
 
     Stages are numpy functions ``array -> array``; the pipeline charges
     the scan's data-access cost, each stage's per-value compute, and one
-    interface-call overhead per (stage, vector) pair.
+    interface-call overhead per (stage, vector) pair.  Execution
+    delegates to the shared fused vector core
+    (:func:`repro.fusion.host.vector_pass`).
     """
 
     def __init__(
@@ -63,36 +69,9 @@ class BulkPipeline:
 
     def collect(self, ctx: ExecutionContext) -> np.ndarray:
         """Run the pipeline and concatenate all output vectors."""
-        outputs: list[np.ndarray] = []
-        memory = 0.0
-        compute = 0.0
-        vectors = 0
-        for fragment in self.layout.fragments_for_attribute(self.attribute):
-            values = (
-                np.empty(0) if fragment.is_phantom else fragment.column(self.attribute)
-            )
-            fragment_memory, fragment_compute = column_scan_cost(
-                fragment, self.attribute, ctx
-            )
-            memory += fragment_memory
-            compute += fragment_compute
-            for start in range(0, len(values), self.vector_size):
-                vector = values[start : start + self.vector_size]
-                vectors += 1
-                for __, stage, cycles_per_value in self._stages:
-                    vector = np.asarray(stage(vector))
-                    compute += len(vector) * cycles_per_value
-                outputs.append(vector)
-        overhead = vectors * (len(self._stages) + 1) * ctx.call_overhead_cycles
-        cycles = ctx.platform.cpu.parallelize(
-            compute_cycles=compute + overhead,
-            memory_cycles=memory,
-            threads=ctx.threading.threads,
+        return vector_pass(
+            self.layout, self.attribute, self._stages, ctx, self.vector_size
         )
-        ctx.charge(f"bulk({self.attribute})", cycles)
-        if not outputs:
-            return np.empty(0)
-        return np.concatenate(outputs)
 
 
 def bulk_sum(layout: Layout, attribute: str, ctx: ExecutionContext,

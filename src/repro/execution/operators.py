@@ -38,6 +38,8 @@ from repro.perf.cost_cache import (
 __all__ = [
     "sum_column",
     "aggregate_column",
+    "aggregate_reducer",
+    "combine_partials",
     "sum_at_positions",
     "materialize_rows",
     "filter_scan",
@@ -155,6 +157,47 @@ _AGGREGATES = {
 }
 
 
+def aggregate_reducer(op: str) -> tuple[Callable[..., Any], Any]:
+    """The ``(reducer, identity-for-empty-input)`` pair behind *op*.
+
+    Shared vocabulary between the unfused operators here and the fused
+    pipelines in :mod:`repro.fusion` — both sides must reduce with the
+    same numpy expression for byte-identical answers.
+    """
+    if op not in _AGGREGATES:
+        raise ExecutionError(
+            f"unknown aggregate {op!r}; choose from {sorted(_AGGREGATES)}"
+        )
+    return _AGGREGATES[op]
+
+
+def combine_partials(
+    op: str, partials: Sequence[Any], counts: Sequence[int]
+) -> float | int | None:
+    """Combine per-fragment aggregate partials into one answer.
+
+    This is the (only) combine step of :func:`aggregate_column`, split
+    out so the fused executors reproduce it expression-for-expression:
+    a fused pipeline computes the *same* per-fragment partials in the
+    same fragment order and must fold them with the same float
+    operations, or results stop being byte-identical to the oracle.
+    """
+    identity = aggregate_reducer(op)[1]
+    if not partials:
+        return identity
+    if op == "sum":
+        return float(np.sum(partials))
+    if op == "min":
+        return float(np.min(partials))
+    if op == "max":
+        return float(np.max(partials))
+    if op == "count":
+        return int(np.sum(partials))
+    # mean: combine partial means weighted by fragment sizes.
+    total = sum(float(p) * c for p, c in zip(partials, counts))
+    return total / sum(counts)
+
+
 def aggregate_column(
     layout: Layout, attribute: str, op: str, ctx: ExecutionContext
 ) -> float | int | None:
@@ -165,11 +208,7 @@ def aggregate_column(
     — one column scan; only the ALU combine differs.  Empty relations
     return the op's identity (None for min/max/mean).
     """
-    if op not in _AGGREGATES:
-        raise ExecutionError(
-            f"unknown aggregate {op!r}; choose from {sorted(_AGGREGATES)}"
-        )
-    reducer, identity = _AGGREGATES[op]
+    reducer, __ = aggregate_reducer(op)
     fragments = layout.fragments_for_attribute(attribute)
     partials: list[Any] = []
     counts: list[int] = []
@@ -190,19 +229,7 @@ def aggregate_column(
     )
     with ctx.span(f"{op}({attribute})", "operator", rows=layout.relation.row_count):
         ctx.charge(f"{op}({attribute})", cycles)
-    if not partials:
-        return identity
-    if op == "sum":
-        return float(np.sum(partials))
-    if op == "min":
-        return float(np.min(partials))
-    if op == "max":
-        return float(np.max(partials))
-    if op == "count":
-        return int(np.sum(partials))
-    # mean: combine partial means weighted by fragment sizes.
-    total = sum(float(p) * c for p, c in zip(partials, counts))
-    return total / sum(counts)
+    return combine_partials(op, partials, counts)
 
 
 def _positions_by_fragment(

@@ -164,6 +164,66 @@ class GPUModel:
                 self.injector.check(_SITE_KERNEL_LAUNCH, counters)
         return cost
 
+    def fused_pipeline_cost(
+        self,
+        count: int,
+        element_widths: "tuple[int, ...] | list[int]",
+        ops_per_element: float = 1.0,
+        counters: PerfCounters | None = None,
+        min_blocks: int = 1024,
+        threads_per_block: int = 512,
+    ) -> Cycles:
+        """Host-cycle cost of ONE fused scan→filter→project→aggregate kernel.
+
+        A fused pipeline streams every operand column exactly once
+        (``count`` elements of each width in *element_widths*), keeps
+        intermediates in registers, and folds the final reduction into
+        the same grid-stride pass (block partials combined with an
+        atomic tail, the modern single-pass shape of the Harris
+        reduction) — so the whole chain pays **one** launch latency and
+        never writes an intermediate to global memory.  Compare
+        :meth:`reduction_cost`: two launches for the *last* stage alone,
+        before the unfused plan's per-step transfers.
+
+        ``ops_per_element`` scales the compute roofline for the fused
+        ALU work (predicate + projections + accumulate).  An empty
+        input returns 0 and issues no launch (the zero-size contract);
+        a negative count or a non-positive width is a hard error.
+        """
+        if count < 0:
+            raise ExecutionError(f"count must be >= 0, got {count}")
+        if not element_widths:
+            raise ExecutionError("fused pipeline needs at least one operand column")
+        if any(width <= 0 for width in element_widths):
+            raise ExecutionError(f"invalid element widths {tuple(element_widths)}")
+        if count == 0:
+            return 0.0
+        if threads_per_block > self.max_threads_per_block:
+            raise ExecutionError(
+                f"{threads_per_block} threads/block exceeds device limit "
+                f"{self.max_threads_per_block}"
+            )
+        # Same grid-stride geometry as the reduction's first pass; the
+        # KernelLaunch constructor validates it.
+        blocks = max(min_blocks, math.ceil(count / (2 * threads_per_block)))
+        launch = KernelLaunch(blocks, threads_per_block)
+        nbytes = count * sum(element_widths)
+        seconds = self.streaming_kernel_seconds(
+            nbytes=nbytes, ops=count, ops_per_element=ops_per_element
+        )
+        total_seconds = seconds + self.launch_latency_s
+        cost = self.seconds_to_host_cycles(total_seconds)
+        if counters is not None:
+            counters.cycles += cost
+            counters.device_cycles += total_seconds * self.clock_hz
+            counters.kernel_launches += 1
+            counters.bytes_read += nbytes
+            # Prediction calls (no counters) must stay side-effect-free,
+            # so injection only applies to accounted launches.
+            if self.injector is not None:
+                self.injector.check(_SITE_KERNEL_LAUNCH, counters)
+        return cost
+
     def chunk_reduction_costs(
         self, count: int, per_chunk: int, element_width: int
     ) -> list[tuple[Cycles, float, int]]:

@@ -33,6 +33,7 @@ from repro.obs.logging import configure_cli_logging, get_logger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import explain, layer_attribution, render_span_tree
 from repro.obs.tracer import (
+    LAYER_FUSED,
     InstantEvent,
     Span,
     Tracer,
@@ -46,6 +47,7 @@ __all__ = [
     "Tracer",
     "Span",
     "InstantEvent",
+    "LAYER_FUSED",
     "tracing",
     "default_tracer",
     "set_default_tracer",

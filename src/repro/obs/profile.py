@@ -23,12 +23,16 @@ __all__ = ["explain", "render_span_tree", "layer_attribution"]
 #: Span attributes surfaced inline in the profile tree, in print order.
 _SHOWN_ATTRS = (
     "hype_choice",
+    "hype_route",
     "served_by",
     "on_device",
+    "placement",
     "bytes",
     "chunks",
     "records",
     "rows",
+    "matches",
+    "operands",
     "site",
     "outcome",
 )

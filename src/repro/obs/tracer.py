@@ -42,6 +42,7 @@ __all__ = [
     "LAYER_REORG",
     "LAYER_RECOVERY",
     "LAYER_FAULT",
+    "LAYER_FUSED",
     "Span",
     "InstantEvent",
     "Tracer",
@@ -61,6 +62,10 @@ LAYER_STAGING = "staging"
 LAYER_REORG = "reorg"
 LAYER_RECOVERY = "recovery"
 LAYER_FAULT = "fault"
+#: A compiled fused pipeline's span — its own layer (not "operator") so
+#: ``explain()``'s per-layer attribution shows exactly how much of a
+#: query ran fused and what the fusion win was.
+LAYER_FUSED = "fused-pipeline"
 
 
 @dataclass

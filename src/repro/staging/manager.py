@@ -9,8 +9,10 @@ three ways:
   let HyPE's cost predictions see that a column already has a device
   replica (predicted transfer cost 0) without perturbing cache state;
 * **serving** — :meth:`lookup` (per-query hit/miss accounting into the
-  query's counters) and :meth:`acquire` (stage the missing columns in
-  one coalesced burst, evicting LRU replicas under capacity pressure);
+  query's counters), :meth:`acquire` (stage the missing columns of one
+  attribute in one coalesced burst, evicting LRU replicas under
+  capacity pressure) and :meth:`acquire_set` (the fused-pipeline form:
+  a whole multi-attribute operand set in one burst);
 * **invalidation** — :meth:`invalidate_fragment` / :meth:`invalidate_all`,
   fired by ``update_field``, the re-organizer and the recovery manager
   so a stale replica never serves a read.
@@ -146,17 +148,40 @@ class StagingManager:
     ) -> list[StagedColumn] | None:
         """Stage the missing columns of *fragments* in one coalesced burst.
 
-        Charges one retry-wrapped DMA burst for all payloads (one link
-        latency total), allocates device replicas and installs them in
-        the cache — replicas are inserted only **after** the burst
-        survived any injected faults, so a failed transfer never
-        corrupts residency state.
+        Single-attribute convenience over :meth:`acquire_set`; the
+        charge sequence (one alloc-fault draw, one retry-wrapped burst,
+        per-fragment replica installs) is exactly the historical one.
+        """
+        return self.acquire_set(
+            [(fragment, attribute, width) for fragment in fragments], ctx
+        )
+
+    def acquire_set(
+        self,
+        requests: Sequence["tuple[Fragment, str, int]"],
+        ctx: "ExecutionContext",
+    ) -> list[StagedColumn] | None:
+        """Stage a whole operand set — ``(fragment, attribute, width)``
+        triples, possibly spanning several attributes — in **one**
+        coalesced burst.
+
+        This is the fused-pipeline entry point: a fused kernel needs
+        every operand column resident before its single launch, so the
+        manager reserves all replicas up front and ships their payloads
+        in one DMA burst (one link latency for the entire set), instead
+        of one burst per operator as the unfused plan pays.
+
+        Charges one retry-wrapped DMA burst for all payloads, allocates
+        device replicas and installs them in the cache — replicas are
+        inserted only **after** the burst survived any injected faults,
+        so a failed transfer never corrupts residency state.
 
         Returns the staged entries, or ``None`` when device memory
         cannot hold the columns even after evicting every cached
-        replica — the caller then falls back to the historical
-        bounce-buffer streaming path.  This method never raises
-        :class:`~repro.errors.CapacityError` itself.
+        replica — the caller then falls back (bounce-buffer streaming
+        for the unfused path, host execution for fused pipelines).
+        This method never raises :class:`~repro.errors.CapacityError`
+        itself.
 
         An injected ``device.alloc`` fault is recovered in place by
         evicting the LRU replica (free discard); it is re-raised only
@@ -164,13 +189,18 @@ class StagingManager:
         fallback chain exactly as the pre-cache path did.
         """
         staged = [
-            fragment for fragment in fragments if fragment.filled * width > 0
+            (fragment, attribute, width)
+            for fragment, attribute, width in requests
+            if fragment.filled * width > 0
         ]
         if not staged:
             return []
-        sizes = [fragment.filled * width for fragment in staged]
+        sizes = [fragment.filled * width for fragment, __, width in staged]
         total = sum(sizes)
         device = self.platform.device_memory
+        label = ",".join(
+            dict.fromkeys(attribute for __, attribute, __ in staged)
+        )
 
         injector = self.platform.injector
         if injector is not None:
@@ -194,7 +224,7 @@ class StagingManager:
         # memory is shorter than the capacity model promised, the caller
         # streams instead of paying for a transfer it cannot land.
         allocations = []
-        for fragment, size in zip(staged, sizes):
+        for (fragment, attribute, __), size in zip(staged, sizes):
             allocation = device.try_allocate(
                 size, f"staged({fragment.label}.{attribute})"
             )
@@ -209,7 +239,7 @@ class StagingManager:
 
         try:
             if ctx.retry is not None:
-                cost = ctx.retry.run(f"pcie-transfer({attribute})", attempt, ctx)
+                cost = ctx.retry.run(f"pcie-transfer({label})", attempt, ctx)
             else:
                 cost = attempt()
         except BaseException:
@@ -222,7 +252,7 @@ class StagingManager:
         ctx.note("pcie-transfer", cost)
 
         entries: list[StagedColumn] = []
-        for fragment, allocation in zip(staged, allocations):
+        for (fragment, attribute, __), allocation in zip(staged, allocations):
             values = (
                 None
                 if fragment.is_phantom

@@ -113,3 +113,124 @@ class TestRoutedQueries:
         replica = mixed.fragments_for_attribute("i_price")[0]
         assert replica.space is platform.device_memory
         assert replica.read_field(3, "i_price") == 42.0
+
+
+class TestPipelineRouting:
+    """HyPE over the fused-operator feature set (repro.fusion.costs)."""
+
+    ROWS = 200_000
+
+    @staticmethod
+    def _loaded(platform):
+        from repro.workload import generate_items
+
+        engine = CoGaDBEngine(platform)
+        engine.create("item", item_schema())
+        columns = generate_items(TestPipelineRouting.ROWS)
+        engine.load("item", columns)
+        return engine, columns
+
+    @staticmethod
+    def _pipeline(threshold=5_000, hint=0.5):
+        from repro import Pipeline
+
+        return (
+            Pipeline.scan("i_im_id")
+            .filter(lambda values, t=threshold: values < t,
+                    selectivity_hint=hint)
+            .aggregate("sum", on="i_price")
+        )
+
+    def test_result_is_byte_identical_to_numpy(self, platform):
+        engine, columns = self._loaded(platform)
+        ctx = ExecutionContext(platform)
+        got = engine.run_pipeline("item", self._pipeline(), ctx)
+        mask = columns["i_im_id"] < 5_000
+        assert got == float(np.sum(columns["i_price"][mask]))
+
+    def test_route_flips_with_placement(self, platform):
+        engine, __ = self._loaded(platform)
+        ctx = ExecutionContext(platform)
+        engine.run_pipeline("item", self._pipeline(), ctx)
+        assert engine.scheduler.decisions[-1] == "fused-cpu"
+        engine.place_columns("item", ("i_im_id", "i_price"), ctx)
+        engine.run_pipeline("item", self._pipeline(), ExecutionContext(platform))
+        assert engine.scheduler.decisions[-1] == "fused-gpu"
+
+    def test_low_selectivity_routes_unfused(self, platform):
+        # The crossover: at ~2% selectivity the unfused host chain's few
+        # random point reads undercut the fused extra sequential scan.
+        engine, columns = self._loaded(platform)
+        ctx = ExecutionContext(platform)
+        got = engine.run_pipeline(
+            "item", self._pipeline(threshold=200, hint=0.02), ctx
+        )
+        assert engine.scheduler.decisions[-1] == "unfused-cpu"
+        mask = columns["i_im_id"] < 200
+        assert got == pytest.approx(float(np.sum(columns["i_price"][mask])))
+
+    def test_prediction_accuracy_fused_host(self, platform):
+        # The fused-operator features must *predict* what the executor
+        # then charges: raw prediction within 10% of the observation,
+        # so the EMA calibration stays near 1 instead of papering over
+        # a drifting model.
+        engine, __ = self._loaded(platform)
+        ctx = ExecutionContext(platform)
+        engine.run_pipeline("item", self._pipeline(), ctx)
+        from repro import compile_pipeline
+
+        plan = compile_pipeline(self._pipeline())
+        host_layout = engine.layouts("item")[1]
+        raw = engine.scheduler.raw_predict_pipeline(plan, host_layout)
+        assert raw["fused-cpu"] == pytest.approx(ctx.cycles, rel=0.10)
+        assert 0.9 <= engine.scheduler.cpu_calibration <= 1.1
+
+    def test_prediction_accuracy_fused_device_warm(self, platform):
+        engine, __ = self._loaded(platform)
+        setup = ExecutionContext(platform)
+        engine.place_columns("item", ("i_im_id", "i_price"), setup)
+        engine.run_pipeline("item", self._pipeline(), ExecutionContext(platform))
+        warm = ExecutionContext(platform)
+        engine.run_pipeline("item", self._pipeline(), warm)
+        assert engine.scheduler.decisions[-1] == "fused-gpu"
+        from repro import compile_pipeline
+
+        plan = compile_pipeline(self._pipeline())
+        # Predict over the engine's single-fragment device view: the
+        # mixed layout also holds the host fallback copies, which would
+        # (correctly) predict a transfer the placed route never pays.
+        from repro.layout.layout import Layout
+
+        mixed = engine.layouts("item")[0]
+        view = Layout(
+            "view", mixed.relation,
+            [mixed.fragments_for_attribute(a)[0] for a in plan.attributes],
+            allow_overlap=True, validate=False,
+        )
+        raw = engine.scheduler.raw_predict_pipeline(plan, view)
+        assert raw["fused-gpu"] == pytest.approx(warm.cycles, rel=0.10)
+        assert 0.9 <= engine.scheduler.gpu_calibration <= 1.1
+
+    def test_gpu_fault_falls_back_to_fused_host(self, platform):
+        from repro.faults.injector import SITE_KERNEL_LAUNCH, FaultInjector
+
+        engine, columns = self._loaded(platform)
+        setup = ExecutionContext(platform)
+        engine.place_columns("item", ("i_im_id", "i_price"), setup)
+        injector = FaultInjector(seed=13).arm(SITE_KERNEL_LAUNCH, 1.0)
+        injector.install(platform)
+        ctx = ExecutionContext(platform)
+        got = engine.run_pipeline("item", self._pipeline(), ctx)
+        mask = columns["i_im_id"] < 5_000
+        assert got == float(np.sum(columns["i_price"][mask]))
+        assert engine.scheduler.decisions[-2] == "fused-gpu"
+        assert engine.scheduler.decisions[-1] == "cpu-fallback"
+        assert injector.report.fallen_back >= 1
+        assert injector.report.unaccounted == 0
+
+    def test_empty_relation_returns_identity(self, platform):
+        engine = CoGaDBEngine(platform)
+        engine.create("item", item_schema())
+        ctx = ExecutionContext(platform)
+        assert engine.run_pipeline("item", self._pipeline(), ctx) == 0.0
+        assert ctx.cycles == 0.0

@@ -1,0 +1,24 @@
+"""Fusion-test fixtures over the shared store builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.fusion.stores import STORE_BUILDERS, fusion_columns, fusion_relation
+
+
+@pytest.fixture
+def relation() :
+    return fusion_relation()
+
+
+@pytest.fixture
+def columns() :
+    return fusion_columns()
+
+
+@pytest.fixture
+def store_builder(request):
+    """Indirect fixture: parametrize with a STORE_BUILDERS key."""
+    return STORE_BUILDERS[request.param]

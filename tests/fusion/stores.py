@@ -1,0 +1,85 @@
+"""Store builders shared by the fusion tests (importable helpers).
+
+One relation shape, real payloads, three layout families: NSM (one fat
+row-major fragment), DSM (one thin fragment per attribute) and PAX
+(attribute groups cut into horizontal chunks).  Fragments are always
+materialized so byte-identity assertions compare actual floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layout.fragment import Fragment
+from repro.layout.layout import Layout
+from repro.layout.linearization import LinearizationKind
+from repro.layout.partitioning import (
+    PartitioningOrder,
+    composite_partition,
+    one_region_per_attribute,
+)
+from repro.layout.region import Region
+from repro.model.datatypes import FLOAT64, INT64
+from repro.model.relation import Relation
+from repro.model.schema import Schema
+
+ROWS = 2_048
+
+
+def fusion_relation(rows: int = ROWS) -> Relation:
+    return Relation(
+        "t", Schema.of(("key", INT64), ("price", FLOAT64)), rows
+    )
+
+
+def fusion_columns(rows: int = ROWS, seed: int = 29) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "key": rng.integers(0, 1_000, rows).astype(np.int64),
+        "price": rng.uniform(1.0, 100.0, rows),
+    }
+
+
+def nsm_store(platform, relation, columns) -> Layout:
+    rows = list(zip(columns["key"].tolist(), columns["price"].tolist()))
+    fragment = Fragment.from_rows(
+        Region.full(relation), relation.schema, LinearizationKind.NSM,
+        platform.host_memory, rows,
+    )
+    return Layout("nsm", relation, [fragment])
+
+
+def dsm_store(platform, relation, columns) -> Layout:
+    fragments = []
+    for region in one_region_per_attribute(relation):
+        attribute = region.attributes[0]
+        fragment = Fragment(
+            region, relation.schema, None, platform.host_memory,
+            label=f"dsm/{attribute}",
+        )
+        fragment.append_columns({attribute: columns[attribute]})
+        fragments.append(fragment)
+    return Layout("dsm", relation, fragments)
+
+
+def pax_store(platform, relation, columns, chunk_rows: int = 512) -> Layout:
+    regions = composite_partition(
+        relation,
+        [(name,) for name in relation.schema.names],
+        chunk_rows,
+        PartitioningOrder.VERTICAL_THEN_HORIZONTAL,
+    )
+    fragments = []
+    for region in regions:
+        attribute = region.attributes[0]
+        start, stop = region.rows.start, region.rows.stop
+        fragment = Fragment(
+            region, relation.schema, None, platform.host_memory,
+            label=f"pax/{attribute}@{start}",
+        )
+        fragment.append_columns({attribute: columns[attribute][start:stop]})
+        fragments.append(fragment)
+    return Layout("pax", relation, fragments)
+
+
+STORE_BUILDERS = {"nsm": nsm_store, "dsm": dsm_store, "pax": pax_store}

@@ -1,0 +1,105 @@
+"""Builder/compiler validation: the fusable grammar is enforced eagerly."""
+
+import pytest
+
+from repro.errors import ExecutionError, FusionError, UnsupportedPipelineError
+from repro.fusion import FusedPipeline, Pipeline, compile_pipeline
+
+
+def probe(values):
+    return values < 500
+
+
+class TestBuilder:
+    def test_full_chain_compiles(self):
+        plan = compile_pipeline(
+            Pipeline.scan("key")
+            .filter(probe, selectivity_hint=0.25)
+            .project(lambda v: v * 2, cycles_per_value=1.5, name="double")
+            .aggregate("sum", on="price")
+        )
+        assert isinstance(plan, FusedPipeline)
+        assert plan.scan_attribute == "key"
+        assert plan.filter.selectivity_hint == 0.25
+        assert plan.projects[0].name == "double"
+        assert plan.op == "sum"
+        assert plan.aggregate_attribute == "price"
+        assert plan.describe() == "scan(key)|filter|double|sum(price)"
+
+    def test_aggregate_defaults_to_scan_attribute(self):
+        plan = compile_pipeline(Pipeline.scan("price").aggregate("mean"))
+        assert plan.aggregate_attribute == "price"
+
+    def test_attributes_deduplicate(self):
+        # A filterless plan never reads the scan column; a same-column
+        # filtered plan reads it once.
+        filterless = compile_pipeline(Pipeline.scan("key").aggregate("sum", on="price"))
+        assert filterless.attributes == ("price",)
+        same = compile_pipeline(Pipeline.scan("key").filter(probe).aggregate("sum"))
+        assert same.attributes == ("key",)
+        two = compile_pipeline(
+            Pipeline.scan("key").filter(probe).aggregate("sum", on="price")
+        )
+        assert two.attributes == ("key", "price")
+
+    def test_compile_is_idempotent(self):
+        plan = compile_pipeline(Pipeline.scan("key").aggregate("sum"))
+        assert compile_pipeline(plan) is plan
+
+
+class TestValidation:
+    def test_missing_aggregate_rejected(self):
+        with pytest.raises(UnsupportedPipelineError):
+            compile_pipeline(Pipeline.scan("key").filter(probe))
+
+    def test_second_filter_rejected(self):
+        with pytest.raises(UnsupportedPipelineError):
+            Pipeline.scan("key").filter(probe).filter(probe)
+
+    def test_project_without_filter_rejected(self):
+        with pytest.raises(UnsupportedPipelineError):
+            Pipeline.scan("key").project(lambda v: v)
+
+    def test_stage_after_aggregate_rejected(self):
+        done = Pipeline.scan("key").aggregate("sum")
+        with pytest.raises(UnsupportedPipelineError):
+            done.filter(probe)
+        with pytest.raises(UnsupportedPipelineError):
+            done.aggregate("sum")
+
+    def test_bad_selectivity_hint_rejected(self):
+        with pytest.raises(FusionError):
+            Pipeline.scan("key").filter(probe, selectivity_hint=1.5)
+
+    def test_non_callable_predicate_rejected(self):
+        with pytest.raises(FusionError):
+            Pipeline.scan("key").filter("key < 500")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ExecutionError):
+            compile_pipeline(Pipeline.scan("key").aggregate("median"))
+
+    def test_empty_scan_attribute_rejected(self):
+        with pytest.raises(FusionError):
+            Pipeline.scan("")
+
+    def test_error_hierarchy(self):
+        # Callers catching ExecutionError keep working; callers can
+        # narrow to the compile-time classes.
+        assert issubclass(FusionError, ExecutionError)
+        assert issubclass(UnsupportedPipelineError, FusionError)
+
+
+class TestPackageRoot:
+    def test_root_exports(self):
+        import repro
+
+        for name in (
+            "Pipeline",
+            "FusedPipeline",
+            "compile_pipeline",
+            "FusionError",
+            "UnsupportedPipelineError",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
