@@ -38,7 +38,9 @@ from repro.errors import (
     DeviceError,
     EngineCrashed,
     FusionError,
+    MigrationInProgress,
     NodeUnavailable,
+    RebalanceAborted,
     RecoveryError,
     ReorganizationAborted,
     ReproError,
@@ -65,6 +67,13 @@ from repro.hardware import Platform
 from repro.layout import Fragment, Layout, LinearizationKind, Region
 from repro.model import Relation, Schema
 from repro.mvcc import Snapshot, SnapshotManager
+from repro.rebalance import (
+    LiveMigrator,
+    RebalancePlanner,
+    Rebalancer,
+    SkewDetector,
+    run_rebalance_chaos,
+)
 from repro.recovery import (
     CheckpointStore,
     RecoveryManager,
@@ -95,6 +104,8 @@ __all__ = [
     "NodeUnavailable",
     "ShardRetryExhausted",
     "DeadlineExceeded",
+    "RebalanceAborted",
+    "MigrationInProgress",
     "FusionError",
     "UnsupportedPipelineError",
     "Pipeline",
@@ -136,4 +147,9 @@ __all__ = [
     "FailureDetector",
     "ShardedExecutor",
     "run_chaos",
+    "SkewDetector",
+    "RebalancePlanner",
+    "LiveMigrator",
+    "Rebalancer",
+    "run_rebalance_chaos",
 ]

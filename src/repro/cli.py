@@ -1,0 +1,96 @@
+"""Shared command-line plumbing for the chaos-verifier CLIs.
+
+Four verifier entry points — ``python -m repro.sharding``,
+``python -m repro.recovery``, ``python -m repro.fusion`` and
+``python -m repro.rebalance`` — share one flag vocabulary so CI jobs
+and humans can swap between them without relearning options:
+
+``--seeds``
+    Comma-separated chaos seeds (matrix rows).  Defaults to the CI
+    matrix ``5,23,101``.
+``--sites``
+    Comma-separated fault sites (matrix columns), for the harnesses
+    that sweep sites.
+``--output``
+    Where to write the ``BENCH_*.json`` record (omitted = no file).
+``--smoke``
+    Reduced configuration for fast local sanity checks and PR CI.
+
+:func:`verifier_parser` builds an :class:`argparse.ArgumentParser`
+with exactly the flags a harness supports (a harness without a site
+sweep simply passes ``default_sites=None`` and gets no ``--sites``),
+and :func:`parse_csv` / :func:`parse_seeds` decode the comma lists.
+The flag contract is documented in ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["verifier_parser", "parse_csv", "parse_seeds"]
+
+#: The CI chaos matrix seeds every verifier defaults to.
+DEFAULT_SEEDS = "5,23,101"
+
+
+def verifier_parser(
+    prog: str,
+    description: str,
+    *,
+    default_seeds: str | None = DEFAULT_SEEDS,
+    default_sites: str | None = None,
+    default_output: str | None = None,
+) -> argparse.ArgumentParser:
+    """An argument parser with the shared verifier flag vocabulary.
+
+    Parameters
+    ----------
+    prog / description:
+        The usual :class:`argparse.ArgumentParser` identity.
+    default_seeds:
+        Default for ``--seeds``; ``None`` omits the flag entirely
+        (harnesses without a seed matrix, e.g. the fusion gates).
+    default_sites:
+        Default for ``--sites``; ``None`` omits the flag.
+    default_output:
+        Default for ``--output``; ``None`` keeps the flag but makes
+        writing the record opt-in.
+    """
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    if default_seeds is not None:
+        parser.add_argument(
+            "--seeds",
+            default=default_seeds,
+            help=f"comma-separated chaos seeds (default: {default_seeds})",
+        )
+    if default_sites is not None:
+        parser.add_argument(
+            "--sites",
+            default=default_sites,
+            help=f"comma-separated fault sites (default: {default_sites})",
+        )
+    parser.add_argument(
+        "--output",
+        default=default_output,
+        help=(
+            f"write the JSON record here (default: {default_output})"
+            if default_output is not None
+            else "write the JSON record here (default: no file)"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced configuration (fast local sanity check / PR CI)",
+    )
+    return parser
+
+
+def parse_csv(text: str) -> list[str]:
+    """Split a ``--sites``-style comma list, dropping empties."""
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def parse_seeds(text: str) -> list[int]:
+    """Decode a ``--seeds`` comma list into integers."""
+    return [int(item) for item in parse_csv(text)]

@@ -124,6 +124,20 @@ class ReorganizationAborted(ExecutionError):
     """
 
 
+class RebalanceAborted(ExecutionError):
+    """An elastic shard rebalance operation was aborted and rolled back.
+
+    The live-migration protocol guarantees the abort is clean: when this
+    escapes, the shard map still serves the *pre-migration* placement at
+    the pre-migration epoch, every partially-copied destination file has
+    been deleted from the DFS, and a ``rebalance-abort`` marker is in
+    the WAL so recovery never resumes the dead migration.  The absorbed
+    fault (if the abort was injected) is already tallied as *recovered*
+    in the resilience report — callers must not re-attribute it.  The
+    operation may simply be re-planned and retried later.
+    """
+
+
 class EngineCrashed(ReproError):
     """The simulated process died: volatile state is gone.
 
@@ -183,6 +197,19 @@ class ShardRetryExhausted(DistributedError):
     lost too many nodes at once or the shard's blocks lost every
     replica (true data loss below the replication factor).  The
     ``__cause__`` chain carries the final per-node error.
+    """
+
+
+class MigrationInProgress(DistributedError):
+    """A shard already has an in-flight live migration.
+
+    The migration protocol is single-writer per shard: the copy /
+    catch-up / cutover phases assume no concurrent rebalance touches the
+    same shard's base file or serving state.  Raised by
+    :meth:`~repro.sharding.placement.ShardMap.begin_migration` when a
+    second operation names a shard whose first migration has neither
+    committed nor aborted.  Queries are unaffected — only the competing
+    migration is refused; retry after the in-flight one settles.
     """
 
 

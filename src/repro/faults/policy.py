@@ -84,7 +84,7 @@ class RetryPolicy:
         Deadline cap on the *cumulative* backoff charged by one
         :meth:`run` call (``None`` = unbounded, the historical
         behaviour).  When the next jittered delay would push the total
-        past the cap, the policy stops retrying and raises
+        to or past the cap, the policy stops retrying and raises
         :class:`~repro.errors.DeadlineExceeded` chaining the last
         failure — bounded-latency callers (the shard-failover path)
         cannot tolerate unbounded exponential backoff.
@@ -125,9 +125,13 @@ class RetryPolicy:
         The final failure — attempts exhausted — propagates to the
         caller un-tallied, so a downstream fallback chain (or the
         harness) attributes its outcome exactly once.  When
-        ``max_total_cycles`` is set and the next delay would exceed it,
-        :class:`~repro.errors.DeadlineExceeded` is raised instead (also
-        un-tallied, carrying the last error's ``injected`` mark).
+        ``max_total_cycles`` is set and the next delay would *reach or*
+        exceed it, :class:`~repro.errors.DeadlineExceeded` is raised
+        instead (also un-tallied, carrying the last error's ``injected``
+        mark).  The boundary is inclusive: the deadline is a budget, and
+        a retry whose cumulative backoff lands exactly on it has no
+        budget left to run in — ``elapsed == deadline`` surfaces rather
+        than retrying.
         """
         delay = self.backoff_cycles
         total_backoff = 0.0
@@ -142,7 +146,7 @@ class RetryPolicy:
                 )
                 if (
                     self.max_total_cycles is not None
-                    and total_backoff + jittered > self.max_total_cycles
+                    and total_backoff + jittered >= self.max_total_cycles
                 ):
                     deadline = DeadlineExceeded(
                         f"retry deadline for {label!r} exceeded: "

@@ -23,9 +23,10 @@ job blocks on all three.
 
 from __future__ import annotations
 
-import argparse
 import json
 from typing import Any, Sequence
+
+from repro.cli import verifier_parser
 
 __all__ = ["main"]
 
@@ -64,19 +65,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Run the fusion grid + gates; write the record; 0 iff gates pass."""
     from repro.bench.ablations import SWEEPS, fusion_sweep
 
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.fusion",
-        description="Benchmark the pipeline compiler and gate its claims.",
-    )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="run the reduced CI grid instead of the full one",
-    )
-    parser.add_argument(
-        "--output",
-        default="BENCH_fusion.json",
-        help="where to write the JSON record (default: BENCH_fusion.json)",
+    parser = verifier_parser(
+        "python -m repro.fusion",
+        "Benchmark the pipeline compiler and gate its claims.",
+        default_seeds=None,
+        default_output="BENCH_fusion.json",
     )
     options = parser.parse_args(argv)
 

@@ -1,0 +1,440 @@
+"""Chaos verification for elastic rebalancing under live traffic.
+
+The claim worth gating on: *with coordinator crashes armed at every
+migration phase and catch-up segments dropping on the wire, a shard
+map that splits, merges and moves under continuous skewed traffic
+serves answers byte-identical to an unfaulted single-node oracle,
+loses no row and duplicates none, accounts for every injected fault
+exactly once — and actually ends up balanced.*
+
+:func:`run_rebalance_chaos` is that experiment.  It drives a skewed
+query stream (a hot eighth of the rows absorbs most point traffic)
+through the sharded executor in batches; between batches the
+:class:`~repro.rebalance.driver.Rebalancer` windows the measured
+per-shard load, plans split/merge/move operations, and executes them
+as journaled live migrations — with more verified queries interleaved
+*between the copy and the cutover* of each migration, so catch-up
+replay is never vacuous.  After the final batch, a full-table sum and
+a full materialization must match the oracle byte-for-byte: the
+zero-loss / zero-duplication proof across every epoch bump.
+
+``python -m repro.rebalance`` runs this across a seed × fault-rate ×
+op-mix matrix (each cell twice — determinism gate) and writes
+``BENCH_rebalance.json`` with the load-balance win gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.distributed.cluster import Cluster
+from repro.distributed.dfs import BlockStore
+from repro.errors import ReproError
+from repro.execution.context import ExecutionContext
+from repro.faults.chaos import MAX_SURFACED_RETRIES
+from repro.faults.injector import FaultInjector
+from repro.hardware.platform import Platform
+from repro.obs.metrics import MetricsRegistry
+from repro.rebalance.driver import Rebalancer
+from repro.rebalance.migrator import (
+    SITE_NET_DROP_CATCHUP,
+    SITE_REBALANCE_CRASH_MID_COPY,
+    SITE_REBALANCE_CRASH_PRE_CUTOVER,
+    LiveMigrator,
+)
+from repro.rebalance.planner import RebalancePlanner
+from repro.rebalance.skew import SkewDetector
+from repro.recovery.replicated import ReplicatedLog
+from repro.recovery.wal import WriteAheadLog
+from repro.sharding.detector import FailureDetector
+from repro.sharding.executor import ShardedExecutor
+from repro.sharding.placement import ShardMap, ShardingScheme
+from repro.sharding.router import Router
+from repro.sharding.verifier import (
+    SingleNodeOracle,
+    build_columns,
+    encode_answer,
+)
+from repro.workload.queries import QueryShape, QuerySpec
+
+__all__ = [
+    "REBALANCE_SITES",
+    "OP_MIXES",
+    "build_skewed_stream",
+    "RebalanceRunResult",
+    "run_rebalance_chaos",
+]
+
+#: The three fault sites this tier registers and exercises.
+REBALANCE_SITES: tuple[str, ...] = (
+    SITE_REBALANCE_CRASH_MID_COPY,
+    SITE_REBALANCE_CRASH_PRE_CUTOVER,
+    SITE_NET_DROP_CATCHUP,
+)
+
+#: Operation mixes the matrix sweeps: how much of each query's point
+#: traffic lands in the hot eighth of the rows.  ``split`` hammers one
+#: hot shard at exactly 8/15 — after three levels of splitting (eight
+#: hot pieces) all fifteen shards carry the same expected load, so the
+#: rebalanced layout is measurably near-perfect; ``mixed`` starves the
+#: cold shards too, so cold-consolidation merges join the splits;
+#: ``move`` keeps the load uniform but starts with every shard
+#: primaried on one node, so only placement moves are planned.
+OP_MIXES: dict[str, float] = {"split": 8 / 15, "mixed": 0.9, "move": 0.125}
+
+#: Positions touched by each query of the skewed stream.
+POSITIONS_PER_QUERY = 24
+
+#: The hot region: the first eighth of the rows.
+HOT_DIVISOR = 8
+
+
+def build_skewed_stream(
+    row_count: int, query_count: int, seed: int, hot_fraction: float
+) -> tuple[QuerySpec, ...]:
+    """A deterministic point stream concentrating on the hot eighth.
+
+    Cycles POSITION_SUM / POINT_MATERIALIZE / POINT_UPDATE (no
+    FULL_SUM: a full scan touches every shard equally, which flattens
+    exactly the imbalance the experiment must measure).  Each query
+    draws ``hot_fraction`` of its distinct positions from the first
+    ``row_count // 8`` rows and the rest from the remainder.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    hot_rows = max(1, row_count // HOT_DIVISOR)
+    shapes = (
+        QueryShape.POSITION_SUM,
+        QueryShape.POINT_MATERIALIZE,
+        QueryShape.POINT_UPDATE,
+    )
+    rng = np.random.default_rng(seed * 92_821 + 17)
+    queries: list[QuerySpec] = []
+    for index in range(query_count):
+        shape = shapes[index % len(shapes)]
+        sample = min(POSITIONS_PER_QUERY, row_count)
+        hot_count = min(round(sample * hot_fraction), hot_rows)
+        cold_count = min(sample - hot_count, row_count - hot_rows)
+        hot = rng.choice(hot_rows, size=hot_count, replace=False)
+        cold = hot_rows + rng.choice(
+            row_count - hot_rows, size=cold_count, replace=False
+        )
+        positions = tuple(int(p) for p in np.sort(np.concatenate([hot, cold])))
+        attributes = (
+            ("k", "v") if shape is QueryShape.POINT_MATERIALIZE else ("v",)
+        )
+        queries.append(QuerySpec(shape, "orders", attributes, positions))
+    return tuple(queries)
+
+
+@dataclass(frozen=True)
+class RebalanceRunResult:
+    """Everything one rebalance chaos run reports.
+
+    Attributes
+    ----------
+    seed / node_count / shard_count / replication / fault_rate /
+    op_mix / sites:
+        The cell's configuration.
+    queries / matched / mismatched:
+        Stream length (batches + interleaved) and per-query
+        byte-comparison outcomes; the two final full-table checks are
+        included.
+    data_lost:
+        Organic (non-injected) failures observed.
+    ratio_before / ratio_after:
+        Max/mean shard-load ratio of the first window (pre-rebalance)
+        and of the final window (measured entirely on the post-
+        rebalance placement).
+    epoch:
+        Placement epochs committed (0 = the map never changed).
+    committed / aborted:
+        Migration outcomes summed over all rounds.
+    cycles / rebalance_cycles:
+        Total simulated cycles, and the share spent inside the
+        migration protocol — the honest price of rebalancing.
+    resilience / migrator:
+        Final snapshots of the resilience report and migrator stats.
+    accounting_ok:
+        Whether every injected fault has exactly one recorded outcome.
+    final_checks_ok:
+        Whether the closing full-table sum and materialization matched
+        the oracle (the zero-loss / zero-duplication proof).
+    """
+
+    seed: int
+    node_count: int
+    shard_count: int
+    replication: int
+    fault_rate: float
+    op_mix: str
+    sites: tuple[str, ...]
+    queries: int
+    matched: int
+    mismatched: int
+    data_lost: int
+    ratio_before: float
+    ratio_after: float
+    epoch: int
+    committed: int
+    aborted: int
+    cycles: float
+    rebalance_cycles: float
+    resilience: dict[str, float]
+    migrator: dict[str, float]
+    accounting_ok: bool
+    final_checks_ok: bool
+
+    @property
+    def ok(self) -> bool:
+        """The cell's verdict: byte-identical, lossless, accounted."""
+        return (
+            self.mismatched == 0
+            and self.final_checks_ok
+            and self.accounting_ok
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready record for ``BENCH_rebalance.json``."""
+        return {
+            "seed": self.seed,
+            "node_count": self.node_count,
+            "shard_count": self.shard_count,
+            "replication": self.replication,
+            "fault_rate": self.fault_rate,
+            "op_mix": self.op_mix,
+            "sites": list(self.sites),
+            "queries": self.queries,
+            "matched": self.matched,
+            "mismatched": self.mismatched,
+            "data_lost": self.data_lost,
+            "ratio_before": self.ratio_before,
+            "ratio_after": self.ratio_after,
+            "epoch": self.epoch,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "cycles": self.cycles,
+            "rebalance_cycles": self.rebalance_cycles,
+            "resilience": self.resilience,
+            "migrator": self.migrator,
+            "accounting_ok": self.accounting_ok,
+            "final_checks_ok": self.final_checks_ok,
+            "ok": self.ok,
+        }
+
+
+def _repair(executor: ShardedExecutor, ctx: ExecutionContext) -> None:
+    """Restart crashed processes and re-establish replication."""
+    dfs = executor.dfs
+    for node_name in dfs.down_nodes:
+        dfs.restore_node(node_name)
+        executor.detector.revive(node_name)
+    if dfs.under_replicated():
+        dfs.re_replicate(ctx.counters)
+
+
+def run_rebalance_chaos(
+    seed: int = 0,
+    node_count: int = 4,
+    shard_count: int = 8,
+    replication: int = 2,
+    fault_rate: float = 0.05,
+    op_mix: str = "split",
+    sites: Sequence[str] = REBALANCE_SITES,
+    query_count: int = 48,
+    row_count: int = 2048,
+    rebalance_rounds: int = 3,
+    interleave_count: int = 48,
+    measure_count: int = 0,
+) -> RebalanceRunResult:
+    """One seeded chaos run: rebalancing under live verified traffic.
+
+    Splits the skewed stream into ``rebalance_rounds + 1`` batches;
+    after each batch but the last, the rebalancer windows the measured
+    load and executes its plan as live migrations, each with verified
+    queries interleaved between copy and cutover (drawn from a
+    separate *interleave_count*-query pool).  Every answer — batch,
+    interleaved, and the two closing full-table checks — is
+    byte-compared against the :class:`SingleNodeOracle`.  With
+    *measure_count* > 0 a dedicated measurement stream of that many
+    further verified queries runs after the last round and supplies
+    ``ratio_after`` — per-shard window loads are sampled counts, so a
+    gated balance figure needs a window wide enough to drown sampling
+    noise (the default final batch is fine for verification but too
+    narrow to gate on).  The result is a pure function of the
+    arguments; the CLI's determinism gate runs each cell twice and
+    requires identical resilience tallies and cycle totals.
+    """
+    if op_mix not in OP_MIXES:
+        raise ValueError(f"unknown op_mix {op_mix!r}; want one of {sorted(OP_MIXES)}")
+    platform = Platform()
+    injector = FaultInjector(seed=seed)
+    injector.install(platform)
+    for site in sites:
+        injector.arm(site, fault_rate)
+    cluster = Cluster(node_count)
+    dfs = BlockStore(
+        cluster, replication=replication, block_size=64 * 1024, injector=injector
+    )
+    columns = build_columns(row_count)
+    shard_map = ShardMap(
+        "orders", columns, cluster, dfs, shard_count,
+        scheme=ShardingScheme.RANGE,
+    )
+    if op_mix == "move":
+        # Pathological placement: every shard but the first primaried on
+        # one node.  The uniform stream keeps loads level, so the only
+        # planned operations are placement moves.
+        crowded = cluster.nodes[1].name
+        for shard in shard_map.shards[1:]:
+            state = shard_map.state(shard.shard_id)
+            assert state is not None
+            shard_map.promote(shard.shard_id, crowded, state)
+    detector = FailureDetector()
+    replicated = ReplicatedLog(dfs, name="orders")
+    wal = WriteAheadLog(platform, group_commit=1, replicator=replicated.on_flush)
+    metrics = MetricsRegistry()
+    executor = ShardedExecutor(
+        Router(shard_map),
+        injector,
+        detector=detector,
+        wal=wal,
+        replicated=replicated,
+        metrics=metrics,
+    )
+    oracle = SingleNodeOracle(columns, executor.update_value)
+    ctx = ExecutionContext(platform=platform)
+    skew = SkewDetector(metrics, shard_map, threshold=1.25)
+    planner = RebalancePlanner(shard_map, target_ratio=1.15)
+    migrator = LiveMigrator(
+        shard_map, wal, injector, replicated=replicated
+    )
+    rebalancer = Rebalancer(skew, planner, migrator)
+
+    hot_fraction = OP_MIXES[op_mix]
+    stream = build_skewed_stream(row_count, query_count, seed, hot_fraction)
+    pool = list(
+        build_skewed_stream(
+            row_count, interleave_count, seed + 7919, hot_fraction
+        )
+    )
+    matched = mismatched = data_lost = 0
+
+    def run_verified(query: QuerySpec) -> None:
+        """Execute one query with surfaced-fault retries; byte-compare."""
+        nonlocal matched, mismatched, data_lost
+        expected = encode_answer(oracle.answer(query))
+        result = None
+        for attempt in range(MAX_SURFACED_RETRIES + 1):
+            try:
+                result = executor.run(query, ctx)
+                break
+            except ReproError as error:
+                if getattr(error, "injected", False):
+                    injector.report.record_surfaced()
+                else:
+                    data_lost += 1
+                _repair(executor, ctx)
+                if attempt == MAX_SURFACED_RETRIES:
+                    raise
+        assert result is not None
+        if result.encoded() == expected:
+            matched += 1
+        else:
+            mismatched += 1
+
+    def interleave() -> None:
+        """Two live queries between one migration's copy and cutover."""
+        for _ in range(2):
+            if pool:
+                run_verified(pool.pop(0))
+
+    batches = rebalance_rounds + 1
+    batch_size = max(1, query_count // batches)
+    ratio_before = ratio_after = 1.0
+    committed = aborted = 0
+    cursor = 0
+    for round_index in range(batches):
+        upper = (
+            len(stream)
+            if round_index == batches - 1
+            else cursor + batch_size
+        )
+        for query in stream[cursor:upper]:
+            run_verified(query)
+        cursor = upper
+        window = skew.snapshot()
+        if round_index == 0:
+            ratio_before = window.ratio
+        ratio_after = window.ratio
+        if round_index < rebalance_rounds:
+            for attempt in range(MAX_SURFACED_RETRIES + 1):
+                try:
+                    outcome = rebalancer.rebalance_once(
+                        ctx, report=window, interleave=interleave
+                    )
+                    committed += outcome.committed
+                    aborted += outcome.aborted
+                    break
+                except ReproError as error:
+                    if getattr(error, "injected", False):
+                        injector.report.record_surfaced()
+                    else:
+                        data_lost += 1
+                    _repair(executor, ctx)
+                    if attempt == MAX_SURFACED_RETRIES:
+                        raise
+                    # Re-window: the aborted round may have committed a
+                    # prefix of its plan before the surfaced fault.
+                    window = skew.snapshot()
+
+    if measure_count:
+        for query in build_skewed_stream(
+            row_count, measure_count, seed + 104_729, hot_fraction
+        ):
+            run_verified(query)
+        ratio_after = skew.snapshot().ratio
+
+    # Closing zero-loss / zero-duplication proof: full-table answers
+    # must match the oracle byte-for-byte across every epoch bump.
+    final_queries = (
+        QuerySpec(QueryShape.FULL_SUM, "orders", ("k", "v")),
+        QuerySpec(
+            QueryShape.POINT_MATERIALIZE,
+            "orders",
+            ("k", "v"),
+            tuple(range(row_count)),
+        ),
+    )
+    final_before = mismatched
+    for query in final_queries:
+        run_verified(query)
+    final_checks_ok = mismatched == final_before
+
+    return RebalanceRunResult(
+        seed=seed,
+        node_count=node_count,
+        shard_count=shard_count,
+        replication=replication,
+        fault_rate=fault_rate,
+        op_mix=op_mix,
+        sites=tuple(sites),
+        queries=matched + mismatched,
+        matched=matched,
+        mismatched=mismatched,
+        data_lost=data_lost,
+        ratio_before=ratio_before,
+        ratio_after=ratio_after,
+        epoch=shard_map.epoch,
+        committed=committed,
+        aborted=aborted,
+        cycles=ctx.counters.cycles,
+        rebalance_cycles=migrator.stats.cycles,
+        resilience=injector.report.snapshot(),
+        migrator=migrator.stats.snapshot(),
+        accounting_ok=injector.report.unaccounted == 0,
+        final_checks_ok=final_checks_ok,
+    )

@@ -11,11 +11,11 @@ either verdict, so the job is a real gate and not just an artifact.
 
 from __future__ import annotations
 
-import argparse
 import json
 import time
 from typing import Sequence
 
+from repro.cli import parse_csv, parse_seeds, verifier_parser
 from repro.recovery.verifier import CRASH_SITES, run_crash_recover
 
 __all__ = ["main"]
@@ -23,36 +23,26 @@ __all__ = ["main"]
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point: run the matrix, write the record, gate on failures."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.recovery",
-        description="Crash/recover verification harness (WAL + checkpoints "
+    parser = verifier_parser(
+        "python -m repro.recovery",
+        "Crash/recover verification harness (WAL + checkpoints "
         "+ ARIES-lite restart against a committed-prefix oracle).",
-    )
-    parser.add_argument(
-        "--seeds",
-        default="5,23,101",
-        help="comma-separated chaos seeds (default: the CI matrix 5,23,101)",
-    )
-    parser.add_argument(
-        "--sites",
-        default=",".join(sorted(CRASH_SITES)),
-        help=f"comma-separated crash sites (default: {','.join(sorted(CRASH_SITES))})",
-    )
-    parser.add_argument(
-        "--output",
-        default=None,
-        help="write the BENCH_recovery.json record here",
+        default_sites=",".join(sorted(CRASH_SITES)),
     )
     options = parser.parse_args(argv)
-    seeds = [int(seed) for seed in options.seeds.split(",") if seed]
-    sites = [site for site in options.sites.split(",") if site]
+    seeds = parse_seeds(options.seeds)
+    sites = parse_csv(options.sites)
+    # Smoke shrinks the table but keeps the full query stream: the
+    # crash sites fire probabilistically per query, so cutting the
+    # stream would leave some (seed, site) cells with no crash at all.
+    sizing = dict(rows=200) if options.smoke else {}
 
     started = time.perf_counter()
     cells = []
     failures = 0
     for seed in seeds:
         for site in sites:
-            result = run_crash_recover(seed, site)
+            result = run_crash_recover(seed, site, **sizing)
             ok = result.crashed and result.state_matches and (
                 result.unaccounted_faults == 0
             )

@@ -70,6 +70,11 @@ class RecoveryResult:
     replayed_txns: int
     incomplete_reorgs: int
     cycles: float
+    #: Shard migrations whose journal shows ``rebalance-begin`` without
+    #: a durable commit/abort resolution — the migrations
+    #: :func:`repro.rebalance.pending_migrations` must resume (copied
+    #: marker durable) or roll back (no copied marker) after restart.
+    incomplete_rebalances: int = 0
 
 
 class RecoveryManager:
@@ -111,6 +116,7 @@ class RecoveryManager:
                 aborted: set[int] = set()
                 reorgs_begun: dict[str, int] = {}
                 reorgs_done = 0
+                rebalances_begun: dict[str, int] = {}
                 for record in records:
                     if record.kind is LogRecordKind.BEGIN:
                         begun.add(record.txn_id)
@@ -129,8 +135,19 @@ class RecoveryManager:
                         if reorgs_begun.get(record.payload, 0) > 0:
                             reorgs_begun[record.payload] -= 1
                             reorgs_done += 1
+                    elif record.kind is LogRecordKind.REBALANCE_BEGIN:
+                        rebalances_begun[record.payload] = (
+                            rebalances_begun.get(record.payload, 0) + 1
+                        )
+                    elif record.kind in (
+                        LogRecordKind.REBALANCE_COMMIT,
+                        LogRecordKind.REBALANCE_ABORT,
+                    ):
+                        if rebalances_begun.get(record.payload, 0) > 0:
+                            rebalances_begun[record.payload] -= 1
                 losers = begun - committed - aborted
                 incomplete_reorgs = sum(reorgs_begun.values())
+                incomplete_rebalances = sum(rebalances_begun.values())
                 if span is not None:
                     span.attrs["losers"] = len(losers)
 
@@ -216,5 +233,6 @@ class RecoveryManager:
             replayed_txns=replayed,
             incomplete_reorgs=incomplete_reorgs,
             cycles=cycles,
+            incomplete_rebalances=incomplete_rebalances,
         )
         return engine, result

@@ -56,6 +56,10 @@ class LogRecordKind(enum.Enum):
     REORG_BEGIN = "reorg-begin"
     REORG_END = "reorg-end"
     REORG_ABORT = "reorg-abort"
+    REBALANCE_BEGIN = "rebalance-begin"
+    REBALANCE_COPIED = "rebalance-copied"
+    REBALANCE_COMMIT = "rebalance-commit"
+    REBALANCE_ABORT = "rebalance-abort"
 
 
 #: Fixed per-record header: LSN, kind, txn id, checksum (simulated).
@@ -271,6 +275,28 @@ class WriteAheadLog:
             LogRecordKind.REORG_ABORT,
         ):
             raise WalError(f"not a reorganization marker: {kind}")
+        return self._append(ctx, kind=kind, payload=label)
+
+    def log_rebalance(
+        self, kind: LogRecordKind, label: str, ctx: "ExecutionContext"
+    ) -> LogRecord:
+        """Append a shard-migration journal marker (begin/copied/commit/abort).
+
+        The live-migration protocol (:mod:`repro.rebalance`) writes one
+        marker at every phase boundary, with *label* carrying the
+        operation's serialized description; the durable marker sequence
+        is the migration journal recovery consults to decide resume vs.
+        roll back.  Markers are forced out (:meth:`flush`) by the
+        migrator at the boundaries that must be durable before the next
+        phase may run.
+        """
+        if kind not in (
+            LogRecordKind.REBALANCE_BEGIN,
+            LogRecordKind.REBALANCE_COPIED,
+            LogRecordKind.REBALANCE_COMMIT,
+            LogRecordKind.REBALANCE_ABORT,
+        ):
+            raise WalError(f"not a rebalance marker: {kind}")
         return self._append(ctx, kind=kind, payload=label)
 
     def log_checkpoint_begin(

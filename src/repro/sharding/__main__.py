@@ -21,11 +21,11 @@ not just an artifact.
 
 from __future__ import annotations
 
-import argparse
 import json
 import time
 from typing import Sequence
 
+from repro.cli import parse_csv, parse_seeds, verifier_parser
 from repro.sharding.verifier import CHAOS_SITES, run_chaos
 
 __all__ = ["main"]
@@ -70,34 +70,15 @@ def _run_cell(seed: int, site: str, smoke: bool) -> tuple[dict, list[str]]:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point: matrix + sweep, write the record, gate on failures."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.sharding",
-        description="Distributed chaos harness: sharded scatter-gather with "
+    parser = verifier_parser(
+        "python -m repro.sharding",
+        "Distributed chaos harness: sharded scatter-gather with "
         "mid-query failover vs. a single-node oracle.",
-    )
-    parser.add_argument(
-        "--seeds",
-        default="5,23,101",
-        help="comma-separated chaos seeds (default: the CI matrix 5,23,101)",
-    )
-    parser.add_argument(
-        "--sites",
-        default=",".join(CHAOS_SITES),
-        help=f"comma-separated fault sites (default: {','.join(CHAOS_SITES)})",
-    )
-    parser.add_argument(
-        "--output",
-        default=None,
-        help="write the BENCH_distributed.json record here",
-    )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="smaller streams and no sweep (fast local sanity check)",
+        default_sites=",".join(CHAOS_SITES),
     )
     options = parser.parse_args(argv)
-    seeds = [int(seed) for seed in options.seeds.split(",") if seed]
-    sites = [site for site in options.sites.split(",") if site]
+    seeds = parse_seeds(options.seeds)
+    sites = parse_csv(options.sites)
 
     started = time.perf_counter()
     failures = 0

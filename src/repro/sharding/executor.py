@@ -43,7 +43,6 @@ surfaced``).
 
 from __future__ import annotations
 
-import ast
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -60,10 +59,12 @@ from repro.faults.chaos import deterministic_update_value
 from repro.faults.injector import FaultInjector, register_fault_site
 from repro.faults.policy import RetryPolicy
 from repro.hardware.event import Cycles
+from repro.obs.metrics import MetricsRegistry
 from repro.recovery.replicated import ReplicatedLog
 from repro.recovery.wal import WriteAheadLog
 from repro.sharding.detector import FailureDetector
 from repro.sharding.placement import ShardMap, deserialize_columns
+from repro.sharding.replay import load_entries, replay_updates
 from repro.sharding.router import QueryPlan, Router, ShardTask
 from repro.workload.queries import QueryShape, QuerySpec
 
@@ -71,10 +72,16 @@ __all__ = [
     "SITE_SHARD_NODE_CRASH",
     "SITE_NET_DROP_RESPONSE",
     "SITE_NET_SLOW_LINK",
+    "SHARD_LOAD_METRIC",
     "ShardedResult",
     "ExecutorStats",
     "ShardedExecutor",
 ]
+
+#: Prefix of the per-shard load counters the executor records into its
+#: optional metrics registry (``{prefix}.{shard_id}``, in rows served).
+#: The rebalance skew detector reads these to find hot shards.
+SHARD_LOAD_METRIC = "shard-load"
 
 #: A worker dies while serving a shard sub-query; the failover state
 #: machine re-runs the sub-query on a surviving DFS replica.
@@ -193,6 +200,12 @@ class ShardedExecutor:
         Policy wrapping each response transfer; the default retries
         :class:`~repro.errors.DistributedError` a bounded number of
         times under its own total-backoff deadline.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`: when
+        given, every served sub-query increments a per-shard
+        ``shard-load.<id>`` row counter — the load window the rebalance
+        skew detector consumes.  Recording is read-only with respect to
+        the simulation (never charges a cycle).
     """
 
     def __init__(
@@ -207,6 +220,7 @@ class ShardedExecutor:
         failover_backoff_cycles: Cycles = 100_000.0,
         failover_deadline_cycles: Cycles = 50_000_000.0,
         response_retry: RetryPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if slow_factor < 1.0:
             raise DistributedError(f"slow_factor must be >= 1, got {slow_factor}")
@@ -230,6 +244,7 @@ class ShardedExecutor:
             seed=injector.seed,
             max_total_cycles=4_000_000.0,
         )
+        self.metrics = metrics
         self.stats = ExecutorStats()
         self._next_txn = 1
 
@@ -267,6 +282,10 @@ class ShardedExecutor:
                 partial, node_name = self._run_shard(task, query, ctx)
                 served_by[task.shard.shard_id] = node_name
                 partials.append(partial)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        f"{SHARD_LOAD_METRIC}.{task.shard.shard_id}"
+                    ).inc(task.row_count)
             value = self._merge(query, plan, partials, ctx)
         return ShardedResult(
             query=query, value=value, served_by=served_by, fanout=plan.fanout
@@ -276,17 +295,25 @@ class ShardedExecutor:
     # Failover state machine
     # ------------------------------------------------------------------
     def _failover_candidates(self, task: ShardTask) -> list[str]:
-        """Nodes to try for *task*, in order: primary, replicas, coordinator.
+        """Nodes to try for *task*: plan node, primary, replicas, coordinator.
 
-        Only nodes the failure detector believes alive are listed; the
-        coordinator is always last — it can serve any shard by remote
-        DFS reads and is never crash-checked, so the list is never
-        empty.
+        The *plan-time* node comes first — an in-flight plan routed
+        before a rebalance cutover finishes on the migration source
+        rather than chasing the shard's new primary mid-query (the
+        live-migration protocol keeps the source serving until cutover
+        commits).  Only nodes the failure detector believes alive are
+        listed; the coordinator is always last — it can serve any shard
+        by remote DFS reads and is never crash-checked, so the list is
+        never empty.
         """
         ordered: list[str] = []
-        primary = task.shard.primary
-        if primary != self.coordinator and self.detector.is_alive(primary):
-            ordered.append(primary)
+        for name in (task.node, task.shard.primary):
+            if (
+                name not in ordered
+                and name != self.coordinator
+                and self.detector.is_alive(name)
+            ):
+                ordered.append(name)
         for name in self.shard_map.replica_candidates(task.shard):
             if (
                 name not in ordered
@@ -454,50 +481,16 @@ class ShardedExecutor:
         """
         if self.wal is None:
             return 0
-        if self.wal.tail_records:
-            self.wal.flush(ctx)
-        if self.replicated is not None:
-            payloads = self.replicated.read_back(
-                self.cluster.node(node_name), ctx.counters
-            )
-            entries = [
-                ast.literal_eval(line.decode())
-                for payload in payloads
-                for line in payload.split(b"\n")
-                if line
-            ]
-        else:
-            entries = [
-                (
-                    record.lsn,
-                    record.kind.value,
-                    record.txn_id,
-                    record.relation,
-                    record.attribute,
-                    record.position,
-                    record.before,
-                    record.after,
-                    record.payload,
-                )
-                for record in self.wal.durable_records()
-            ]
-        committed = {entry[2] for entry in entries if entry[1] == "commit"}
-        owned = set(int(p) for p in shard.positions)
-        applied = 0
-        replayed_txns: set[int] = set()
-        for lsn, kind, txn, relation, attribute, position, before, after, _ in entries:
-            if (
-                kind != "update"
-                or txn not in committed
-                or relation != self.shard_map.name
-                or position not in owned
-                or attribute not in columns
-            ):
-                continue
-            local = int(shard.local_indices(np.array([position]))[0])
-            columns[attribute][local] = after
-            applied += 1
-            replayed_txns.add(txn)
+        entries = load_entries(
+            self.wal,
+            self.replicated,
+            self.cluster.node(node_name),
+            ctx.counters,
+            ctx,
+        )
+        applied, replayed_txns = replay_updates(
+            entries, self.shard_map.name, shard.positions, columns
+        )
         if replayed_txns:
             self.injector.report.record_replayed(len(replayed_txns))
         return applied

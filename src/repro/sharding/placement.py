@@ -15,6 +15,17 @@ holds (or can remotely read) a surviving replica of the shard's base
 file, then *promotes* that node to primary.  The map therefore exposes
 both the partition-pruning geometry (which shard owns which row) and
 the replica-candidate ordering the failover state machine walks.
+
+The map is also **versioned** for elastic rebalancing
+(:mod:`repro.rebalance`): every committed split/merge/move cutover
+bumps :attr:`ShardMap.epoch` and atomically installs the new
+placement.  Routing reads the epoch at plan time, so in-flight plans
+keep naming their plan-time nodes while new plans see the new
+placement.  Shard ids are stable forever — a merged-away shard stays
+in the dense list as an empty shard rather than renumbering its
+survivors — and once the first rebalance commits, row ownership is
+tracked by an explicit position→shard assignment overlay instead of
+the static hash/range geometry.
 """
 
 from __future__ import annotations
@@ -26,7 +37,7 @@ import numpy as np
 
 from repro.distributed.cluster import Cluster
 from repro.distributed.dfs import BlockStore
-from repro.errors import DistributedError
+from repro.errors import DistributedError, MigrationInProgress
 
 __all__ = [
     "ShardingScheme",
@@ -170,9 +181,20 @@ class ShardMap:
                 f"cannot spread {self.row_count} rows over {shard_count} shards"
             )
         self.shards: list[Shard] = []
+        #: Placement version: bumped once per committed rebalance
+        #: cutover.  Plans are stamped with the epoch they were routed
+        #: under; in-flight plans finish on their plan-time nodes.
+        self.epoch = 0
         #: shard_id -> memory-resident serving columns (None = lost with
         #: its node, pending a failover rebuild).
         self._states: dict[int, dict[str, np.ndarray] | None] = {}
+        #: position -> shard_id overlay, materialized at the first
+        #: rebalance commit (None while the static geometry still
+        #: describes ownership exactly).
+        self._assignment: np.ndarray | None = None
+        #: Shard ids with an in-flight live migration (single-writer
+        #: guard: a second migration naming one of these is refused).
+        self._migrating: set[int] = set()
         self._range_bounds: np.ndarray | None = None
         every_position = np.arange(self.row_count)
         if scheme is ShardingScheme.RANGE:
@@ -199,11 +221,13 @@ class ShardMap:
     # Geometry (planning-time: never charges a counter)
     # ------------------------------------------------------------------
     def shard_of(self, position: int) -> int:
-        """The shard owning global row *position*."""
+        """The shard owning global row *position* (at the current epoch)."""
         if not 0 <= position < self.row_count:
             raise DistributedError(
                 f"position {position} outside [0, {self.row_count})"
             )
+        if self._assignment is not None:
+            return int(self._assignment[position])
         if self.scheme is ShardingScheme.HASH:
             return hash_shard_of(position, self.shard_count)
         assert self._range_bounds is not None
@@ -284,3 +308,165 @@ class ShardMap:
         for shard in self.shards:
             assignment.setdefault(shard.primary, []).append(shard.shard_id)
         return assignment
+
+    # ------------------------------------------------------------------
+    # Live migration: epoch-bumped cutovers (repro.rebalance)
+    # ------------------------------------------------------------------
+    @property
+    def live_shard_count(self) -> int:
+        """Shards currently owning at least one row (merged-away shards
+        stay in the dense list as empty placeholders)."""
+        return sum(1 for shard in self.shards if shard.row_count)
+
+    def begin_migration(self, *shard_ids: int) -> None:
+        """Claim *shard_ids* for one live migration (single-writer guard).
+
+        Raises :class:`~repro.errors.MigrationInProgress` when any of
+        them is already mid-migration — the copy/catch-up/cutover
+        protocol assumes no concurrent rebalance touches the same
+        shard.  On success the ids stay claimed until
+        :meth:`end_migration` releases them (the migrator calls it from
+        both the commit and the rollback path).
+        """
+        for shard_id in shard_ids:
+            if not 0 <= shard_id < len(self.shards):
+                raise DistributedError(f"unknown shard {shard_id}")
+            if shard_id in self._migrating:
+                raise MigrationInProgress(
+                    f"shard {shard_id} of {self.name!r} already has an "
+                    "in-flight migration"
+                )
+        self._migrating.update(shard_ids)
+
+    def end_migration(self, *shard_ids: int) -> None:
+        """Release the migration claim on *shard_ids* (idempotent)."""
+        self._migrating.difference_update(shard_ids)
+
+    def _materialize_assignment(self) -> np.ndarray:
+        """The explicit position→shard overlay, built on first rebalance."""
+        if self._assignment is None:
+            assignment = np.empty(self.row_count, dtype=np.int64)
+            for shard in self.shards:
+                assignment[shard.positions] = shard.shard_id
+            self._assignment = assignment
+        return self._assignment
+
+    def _check_state(
+        self, positions: np.ndarray, state: dict[str, np.ndarray]
+    ) -> None:
+        """Refuse a cutover whose serving state does not match its rows."""
+        if set(state) != set(self.attributes):
+            raise DistributedError(
+                f"cutover state stores {sorted(state)}, "
+                f"map stores {list(self.attributes)}"
+            )
+        for attr, column in state.items():
+            if len(column) != positions.size:
+                raise DistributedError(
+                    f"cutover state {attr!r} has {len(column)} rows for "
+                    f"{positions.size} positions"
+                )
+
+    def commit_move(
+        self,
+        shard_id: int,
+        path: str,
+        primary: str,
+        state: dict[str, np.ndarray],
+    ) -> int:
+        """Cut a completed *move* migration over; returns the new epoch.
+
+        The shard's rows are unchanged; its base file, primary, and
+        serving state are atomically re-pointed at the migration
+        destination.  The old primary is kept in the audit trail.
+        """
+        shard = self.shards[shard_id]
+        self._check_state(shard.positions, state)
+        if shard.primary != primary:
+            shard.former_primaries.append(shard.primary)
+            shard.primary = primary
+        shard.path = path
+        self._states[shard_id] = state
+        self.epoch += 1
+        return self.epoch
+
+    def commit_split(
+        self,
+        shard_id: int,
+        left_positions: np.ndarray,
+        right_positions: np.ndarray,
+        left_path: str,
+        right_path: str,
+        left_primary: str,
+        right_primary: str,
+        left_state: dict[str, np.ndarray],
+        right_state: dict[str, np.ndarray],
+    ) -> tuple[int, int]:
+        """Cut a completed *split* over; returns ``(new_shard_id, epoch)``.
+
+        The left half keeps *shard_id*; the right half becomes a brand
+        new shard appended to the dense list.  The two halves must
+        exactly partition the shard's current rows.
+        """
+        shard = self.shards[shard_id]
+        combined = np.sort(np.concatenate([left_positions, right_positions]))
+        if not np.array_equal(combined, shard.positions):
+            raise DistributedError(
+                f"split halves do not partition shard {shard_id}'s rows"
+            )
+        if not left_positions.size or not right_positions.size:
+            raise DistributedError("both split halves must own rows")
+        self._check_state(left_positions, left_state)
+        self._check_state(right_positions, right_state)
+        assignment = self._materialize_assignment()
+        new_id = len(self.shards)
+        shard.positions = np.sort(left_positions)
+        shard.path = left_path
+        if shard.primary != left_primary:
+            shard.former_primaries.append(shard.primary)
+            shard.primary = left_primary
+        self._states[shard_id] = left_state
+        right = Shard(
+            new_id, np.sort(right_positions), primary=right_primary,
+            path=right_path,
+        )
+        self.shards.append(right)
+        self._states[new_id] = right_state
+        assignment[right.positions] = new_id
+        self.epoch += 1
+        return new_id, self.epoch
+
+    def commit_merge(
+        self,
+        winner_id: int,
+        loser_id: int,
+        path: str,
+        primary: str,
+        state: dict[str, np.ndarray],
+    ) -> int:
+        """Cut a completed *merge* over; returns the new epoch.
+
+        The winner absorbs every row the loser owned; the loser stays
+        in the dense list as an empty shard (ids are never renumbered),
+        and the router prunes it from all future scatters.
+        """
+        if winner_id == loser_id:
+            raise DistributedError("cannot merge a shard into itself")
+        winner = self.shards[winner_id]
+        loser = self.shards[loser_id]
+        merged = np.sort(np.concatenate([winner.positions, loser.positions]))
+        self._check_state(merged, state)
+        assignment = self._materialize_assignment()
+        assignment[loser.positions] = winner_id
+        winner.positions = merged
+        winner.path = path
+        if winner.primary != primary:
+            winner.former_primaries.append(winner.primary)
+            winner.primary = primary
+        self._states[winner_id] = state
+        loser.positions = np.empty(0, dtype=np.int64)
+        self._states[loser_id] = {
+            attr: np.empty(0, dtype=np.float64) for attr in self.attributes
+        }
+        self.epoch += 1
+        return self.epoch

@@ -1,0 +1,120 @@
+"""Committed-prefix WAL replay shared by failover and live migration.
+
+Two consumers re-apply the write-ahead log's committed prefix onto a
+set of shard columns read back from the DFS:
+
+* the :class:`~repro.sharding.executor.ShardedExecutor` failover path,
+  rebuilding a dead primary's serving state on a surviving replica;
+* the :class:`~repro.rebalance.migrator.LiveMigrator` catch-up phase,
+  replaying updates that committed *after* a migration's copy snapshot
+  onto the destination copy before cutover.
+
+Both need exactly the same semantics — only updates belonging to
+committed transactions are applied, in LSN order, restricted to the
+positions the target columns actually hold — so the logic lives here
+once.  :func:`load_entries` normalizes the two durable sources (the
+replicated log's DFS segments when log shipping is configured, else
+the coordinator's local durable prefix) into plain tuples, and
+:func:`replay_updates` applies them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.recovery.replicated import ReplicatedLog
+from repro.recovery.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distributed.cluster import Node
+    from repro.execution.context import ExecutionContext
+    from repro.hardware.event import PerfCounters
+
+__all__ = ["LogEntry", "load_entries", "replay_updates"]
+
+#: One durable log record as a plain tuple:
+#: ``(lsn, kind, txn_id, relation, attribute, position, before, after,
+#: payload)`` — the wire format the replicated log ships.
+LogEntry = tuple
+
+
+def load_entries(
+    wal: WriteAheadLog,
+    replicated: "ReplicatedLog | None",
+    reader: "Node",
+    counters: "PerfCounters",
+    ctx: "ExecutionContext",
+) -> list[LogEntry]:
+    """Read every durable log entry, as *reader* would see it.
+
+    The volatile tail is forced out first (a log force — both failover
+    and cutover need the committed prefix to be complete before it is
+    replayed).  When *replicated* is given the entries come from its
+    DFS segments read from *reader*'s point of view (remote transfers
+    charged to *counters*); otherwise from the local durable prefix.
+    """
+    if wal.tail_records:
+        wal.flush(ctx)
+    if replicated is not None:
+        payloads = replicated.read_back(reader, counters)
+        return [
+            ast.literal_eval(line.decode())
+            for payload in payloads
+            for line in payload.split(b"\n")
+            if line
+        ]
+    return [
+        (
+            record.lsn,
+            record.kind.value,
+            record.txn_id,
+            record.relation,
+            record.attribute,
+            record.position,
+            record.before,
+            record.after,
+            record.payload,
+        )
+        for record in wal.durable_records()
+    ]
+
+
+def replay_updates(
+    entries: list[LogEntry],
+    relation: str,
+    positions: np.ndarray,
+    columns: dict[str, np.ndarray],
+    min_lsn: int = 0,
+) -> tuple[int, set[int]]:
+    """Apply committed updates onto *columns*; returns (applied, txns).
+
+    Only ``update`` records of transactions whose ``commit`` is durable
+    are applied, and only for *relation*'s rows listed in the sorted
+    *positions* array (the rows *columns* holds, in that order).
+    Records with ``lsn <= min_lsn`` are skipped — the migration
+    catch-up path passes its copy-snapshot LSN there so the copy's own
+    rows are not double-applied.  Returns the number of cell writes and
+    the set of transaction ids replayed.
+    """
+    committed = {entry[2] for entry in entries if entry[1] == "commit"}
+    owned = set(int(p) for p in positions)
+    applied = 0
+    replayed_txns: set[int] = set()
+    for lsn, kind, txn, rel, attribute, position, _before, after, _ in entries:
+        if (
+            kind != "update"
+            or lsn <= min_lsn
+            or txn not in committed
+            or rel != relation
+            or position not in owned
+            or attribute not in columns
+        ):
+            continue
+        local = int(np.searchsorted(positions, position))
+        columns[attribute][local] = after
+        applied += 1
+        replayed_txns.add(txn)
+    return applied, replayed_txns

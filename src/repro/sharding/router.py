@@ -81,6 +81,10 @@ class QueryPlan:
     tasks: tuple[ShardTask, ...]
     pruned_shards: tuple[int, ...]
     estimated_response_cycles: Cycles
+    #: The shard map's placement version at plan time.  A plan routed
+    #: before a rebalance cutover finishes on its plan-time nodes; the
+    #: executor never re-routes an in-flight plan at a newer epoch.
+    epoch: int = 0
 
     @property
     def fanout(self) -> int:
@@ -169,4 +173,5 @@ class Router:
             estimated_response_cycles=sum(
                 task.estimated_response_cycles for task in tasks
             ),
+            epoch=self.shard_map.epoch,
         )

@@ -308,6 +308,23 @@ class TestRetryDeadline:
             policy.run("op", Flaky(failures=99, error_factory=organic_error), ctx)
         assert not excinfo.value.injected
 
+    def test_deadline_boundary_is_inclusive(self, ctx: ExecutionContext):
+        # Regression: with jitter off, the very first backoff lands
+        # *exactly* on the budget.  The deadline is a budget, not a
+        # threshold — elapsed == deadline leaves no budget to retry in,
+        # so the policy must surface DeadlineExceeded, not sleep-retry.
+        policy = RetryPolicy(
+            max_attempts=10,
+            backoff_cycles=10_000.0,
+            jitter=0.0,
+            max_total_cycles=10_000.0,
+        )
+        flaky = Flaky(failures=99)
+        with pytest.raises(DeadlineExceeded):
+            policy.run("op", flaky, ctx)
+        assert flaky.calls == 1
+        assert ctx.counters.fault_retries == 0
+
     def test_unbounded_when_unset(self, ctx: ExecutionContext):
         policy = RetryPolicy(max_attempts=6, backoff_cycles=50_000.0)
         assert policy.run("op", Flaky(failures=5), ctx) == "served"

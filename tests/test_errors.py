@@ -69,3 +69,27 @@ def test_failover_errors_importable_from_package_root():
     for name in ("NodeUnavailable", "ShardRetryExhausted", "DeadlineExceeded"):
         assert getattr(repro, name) is getattr(errors_module, name)
         assert name in repro.__all__
+
+
+def test_rebalance_errors_place_in_the_hierarchy():
+    from repro.errors import (
+        DistributedError,
+        ExecutionError,
+        MigrationInProgress,
+        RebalanceAborted,
+    )
+
+    # An aborted rebalance is the migrator's verdict on its own work
+    # (clean rollback, map untouched) — not a network condition; the
+    # single-writer violation *is* a coordination fault.
+    assert issubclass(RebalanceAborted, ExecutionError)
+    assert not issubclass(RebalanceAborted, DistributedError)
+    assert issubclass(MigrationInProgress, DistributedError)
+
+
+def test_rebalance_errors_importable_from_package_root():
+    import repro
+
+    for name in ("RebalanceAborted", "MigrationInProgress"):
+        assert getattr(repro, name) is getattr(errors_module, name)
+        assert name in repro.__all__
