@@ -34,6 +34,7 @@ from repro.core import (
     satisfies_all,
 )
 from repro.errors import (
+    AdmissionRejected,
     DeadlineExceeded,
     DeviceError,
     EngineCrashed,
@@ -52,6 +53,7 @@ from repro.errors import (
 from repro.execution import (
     MULTI_THREADED_8,
     SINGLE_THREADED,
+    CounterScope,
     ExecutionContext,
     ThreadingPolicy,
 )
@@ -81,6 +83,14 @@ from repro.recovery import (
     WriteAheadLog,
     run_crash_recover,
 )
+from repro.serving import (
+    AdmissionQueue,
+    BatchPolicy,
+    ServingLoop,
+    TenantSpec,
+    WorkloadGenerator,
+    run_serving_verifier,
+)
 from repro.sharding import (
     FailureDetector,
     Router,
@@ -104,6 +114,7 @@ __all__ = [
     "NodeUnavailable",
     "ShardRetryExhausted",
     "DeadlineExceeded",
+    "AdmissionRejected",
     "RebalanceAborted",
     "MigrationInProgress",
     "FusionError",
@@ -118,6 +129,7 @@ __all__ = [
     "ResilienceReport",
     "Platform",
     "ExecutionContext",
+    "CounterScope",
     "ThreadingPolicy",
     "SINGLE_THREADED",
     "MULTI_THREADED_8",
@@ -152,4 +164,10 @@ __all__ = [
     "LiveMigrator",
     "Rebalancer",
     "run_rebalance_chaos",
+    "TenantSpec",
+    "WorkloadGenerator",
+    "AdmissionQueue",
+    "BatchPolicy",
+    "ServingLoop",
+    "run_serving_verifier",
 ]

@@ -213,6 +213,20 @@ class MigrationInProgress(DistributedError):
     """
 
 
+class AdmissionRejected(ExecutionError):
+    """A query was shed by admission control instead of being queued.
+
+    The serving tier's bounded backlog refuses work it cannot serve
+    within its latency budget: when the queue is full (and no
+    lower-priority entry can be displaced), the newcomer is rejected
+    with this error rather than letting the backlog — and therefore
+    every tenant's tail latency — grow without bound.  Carries
+    ``injected = True`` when raised by the ``serving.queue-overflow``
+    fault site; an open-loop client treats both forms the same way:
+    count the shed query and keep the arrival process running.
+    """
+
+
 class DeadlineExceeded(ExecutionError):
     """A retry policy's total-backoff deadline was hit before success.
 

@@ -2,7 +2,7 @@
 
 from repro.execution.access import AccessDescriptor, AccessKind
 from repro.execution.bulk import BulkPipeline, bulk_count_where, bulk_sum
-from repro.execution.context import ExecutionContext
+from repro.execution.context import CounterScope, ExecutionContext
 from repro.execution.device import (
     device_count_where,
     device_sum_column,
@@ -34,6 +34,7 @@ from repro.execution.volcano import (
 
 __all__ = [
     "ExecutionContext",
+    "CounterScope",
     "ThreadingPolicy",
     "SINGLE_THREADED",
     "MULTI_THREADED_8",

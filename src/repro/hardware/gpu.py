@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ExecutionError
 from repro.hardware.event import Cycles, PerfCounters
@@ -158,6 +158,73 @@ class GPUModel:
             counters.device_cycles += total_seconds * self.clock_hz
             counters.kernel_launches += 2
             counters.bytes_read += count * element_width
+            # Prediction calls (no counters) must stay side-effect-free,
+            # so injection only applies to accounted launches.
+            if self.injector is not None:
+                self.injector.check(_SITE_KERNEL_LAUNCH, counters)
+        return cost
+
+    def batched_reduction_cost(
+        self,
+        columns: "Sequence[tuple[int, int]]",
+        counters: PerfCounters | None = None,
+        min_blocks: int = 1024,
+        threads_per_block: int = 512,
+    ) -> Cycles:
+        """Host-cycle cost of ONE batched two-pass reduction over many columns.
+
+        *columns* is one ``(count, element_width)`` pair per **distinct**
+        operand column of the batch.  A batch scheduler that groups K
+        compatible full-column sums launches a single fused grid whose
+        blocks stream every distinct column once (pass 1) and a single
+        second pass that folds all block partials — so the whole batch
+        pays **two** kernel-launch latencies, where serial dispatch pays
+        two per query.  Streaming time still scales with the distinct
+        bytes touched (bandwidth is not amortizable), which is exactly
+        why the win comes from sharing: K queries over D distinct
+        columns cost D column streams + 2 launches instead of K streams
+        + 2K launches.
+
+        Zero-count columns are skipped (nothing to stream); an empty or
+        all-empty *columns* returns 0 and issues no launch, matching
+        :meth:`reduction_cost`'s zero-size contract.  Counter
+        side-effects (and the ``device.kernel`` fault draw) happen only
+        on accounted calls, like every other kernel costing.
+        """
+        if threads_per_block > self.max_threads_per_block:
+            raise ExecutionError(
+                f"{threads_per_block} threads/block exceeds device limit "
+                f"{self.max_threads_per_block}"
+            )
+        streamed = []
+        for count, width in columns:
+            if count < 0:
+                raise ExecutionError(f"count must be >= 0, got {count}")
+            if width <= 0:
+                raise ExecutionError(f"invalid element width {width}")
+            if count:
+                streamed.append((count, width))
+        if not streamed:
+            return 0.0
+        pass_seconds = 0.0
+        total_bytes = 0
+        for count, width in streamed:
+            blocks = max(min_blocks, math.ceil(count / (2 * threads_per_block)))
+            pass1 = KernelLaunch(blocks, threads_per_block)
+            pass_seconds += self.streaming_kernel_seconds(
+                nbytes=count * width, ops=count
+            )
+            pass_seconds += self.streaming_kernel_seconds(
+                nbytes=pass1.blocks * width, ops=pass1.blocks
+            )
+            total_bytes += count * width
+        total_seconds = pass_seconds + 2 * self.launch_latency_s
+        cost = self.seconds_to_host_cycles(total_seconds)
+        if counters is not None:
+            counters.cycles += cost
+            counters.device_cycles += total_seconds * self.clock_hz
+            counters.kernel_launches += 2
+            counters.bytes_read += total_bytes
             # Prediction calls (no counters) must stay side-effect-free,
             # so injection only applies to accounted launches.
             if self.injector is not None:

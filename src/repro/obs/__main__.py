@@ -24,9 +24,10 @@ can assert the whole observability contract in one command.
 
 from __future__ import annotations
 
-import argparse
 import json
 from typing import Any, Sequence
+
+from repro.cli import verifier_parser
 
 __all__ = ["run_figure2_workload", "main"]
 
@@ -131,15 +132,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     from repro.obs.profile import explain, layer_attribution
     from repro.obs.tracer import Tracer, nesting_violations
 
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.obs",
-        description="Trace a Figure-2 probe workload and gate the "
+    parser = verifier_parser(
+        "python -m repro.obs",
+        "Trace a Figure-2 probe workload and gate the "
         "observability contracts (zero observer effect, trace schema).",
-    )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="run the reduced CI workload instead of the full one",
+        default_seeds=None,
+        default_output="BENCH_obs.json",
     )
     parser.add_argument(
         "--rows",
@@ -151,11 +149,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--trace",
         default="trace.json",
         help="where to write the Chrome/Perfetto trace (default: trace.json)",
-    )
-    parser.add_argument(
-        "--output",
-        default="BENCH_obs.json",
-        help="where to write the JSON record (default: BENCH_obs.json)",
     )
     options = parser.parse_args(argv)
     configure_cli_logging()

@@ -19,6 +19,7 @@ dictionaries and platform model parameters, and never charges a cycle.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -70,10 +71,40 @@ class Histogram:
         """Record one observation."""
         self.values.append(float(value))
 
-    def summary(self) -> dict[str, float]:
-        """count/total/min/max/mean of the observations (zeros when empty)."""
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (``0 <= q <= 100``) of the observations.
+
+        Linear interpolation between closest ranks (numpy's default
+        method), computed over the exact observation list — this is a
+        simulation, there is no reason to approximate with buckets.
+        Returns 0.0 for an empty histogram; an out-of-range *q* is a
+        hard error.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"{self.name}: percentile must be in [0, 100], got {q}")
         if not self.values:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return 0.0
+        ordered = sorted(self.values)
+        rank = (len(ordered) - 1) * (q / 100.0)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> dict[str, float]:
+        """count/total/min/max/mean plus p50/p95/p99 (zeros when empty).
+
+        The percentile readouts are what the serving tier's tail-latency
+        gate consumes: ``p99 / p50`` bounded is the difference between
+        an admission-controlled queue and an open-loop collapse.
+        """
+        if not self.values:
+            return {
+                "count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
         total = sum(self.values)
         return {
             "count": len(self.values),
@@ -81,6 +112,9 @@ class Histogram:
             "min": min(self.values),
             "max": max(self.values),
             "mean": total / len(self.values),
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
         }
 
 

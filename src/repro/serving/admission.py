@@ -1,0 +1,166 @@
+"""Admission control: bounded backlog, priority classes, weighted fairness.
+
+An open-loop workload does not slow down when the server falls behind,
+so an unbounded queue grows without limit and every tenant's tail
+latency grows with it.  The :class:`AdmissionQueue` bounds the backlog
+and **sheds** the least important work instead — a typed
+:class:`~repro.errors.AdmissionRejected`, never a silent drop — which
+is what keeps p99/p50 finite under saturation (the verifier gates
+exactly that).
+
+Ordering is two-level:
+
+* **priority classes** are strict: class 0 drains before class 1 ever
+  runs (and class 1 is shed first under overflow pressure);
+* **within a class**, tenants share capacity by weighted fair queueing
+  (virtual finish tags — each admitted query's tag is its tenant's
+  previous tag plus ``1/weight``, so a weight-2 tenant's queries carry
+  tags that grow half as fast and drain twice as often).
+
+The queue also registers the ``serving.queue-overflow`` fault site: an
+injected overflow sheds an otherwise-admittable query, exercising the
+client-visible rejection path under chaos without a real overload.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import AdmissionRejected
+from repro.faults.injector import register_fault_site
+from repro.serving.arrivals import QueryArrival
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.hardware.event import PerfCounters
+
+__all__ = ["SITE_QUEUE_OVERFLOW", "AdmissionQueue"]
+
+#: Admission-control overflow: the serving queue sheds an arriving
+#: query as if the backlog were full (raises
+#: :class:`~repro.errors.AdmissionRejected` with ``injected = True``).
+SITE_QUEUE_OVERFLOW = register_fault_site(
+    "serving.queue-overflow",
+    "admission queue sheds an arriving query",
+    AdmissionRejected,
+)
+
+
+class AdmissionQueue:
+    """Bounded multi-tenant backlog with WFQ ordering and typed shedding.
+
+    Parameters
+    ----------
+    max_backlog:
+        Backlog bound; ``None`` disables shedding entirely (the
+        unbounded baseline the verifier contrasts against).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`; when the
+        ``serving.queue-overflow`` site fires at admission time the
+        arriving query is shed with ``injected = True`` — the serving
+        loop records the shed as a *recovered* fault (shedding is the
+        designed response, not a failure).
+    """
+
+    def __init__(
+        self,
+        max_backlog: int | None = None,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError(f"max_backlog must be >= 1, got {max_backlog}")
+        self.max_backlog = max_backlog
+        self.injector = injector
+        self._pending: list[QueryArrival] = []
+        self._tags: dict[int, float] = {}
+        self._virtual: dict[str, float] = {}
+        self._global_virtual = 0.0
+        self.admitted = 0
+        self.shed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Queries currently waiting."""
+        return len(self._pending)
+
+    @property
+    def pending(self) -> list[QueryArrival]:
+        """The waiting queries (admission order; do not mutate)."""
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        arrival: QueryArrival,
+        counters: "PerfCounters | None" = None,
+    ) -> QueryArrival | None:
+        """Admit *arrival*, shedding if the backlog is full.
+
+        Returns the **displaced** entry when the newcomer out-ranks a
+        lower-priority waiting query (the victim is shed to make room),
+        else ``None``.  Raises :class:`~repro.errors.AdmissionRejected`
+        when the newcomer itself is shed — because the backlog is full
+        of equal-or-higher-priority work, or because the
+        ``serving.queue-overflow`` fault fired.  Either way the queue's
+        ``shed`` tally moves; the caller only decides what to log.
+        """
+        if self.injector is not None:
+            try:
+                self.injector.check(SITE_QUEUE_OVERFLOW, counters)
+            except AdmissionRejected:
+                self.shed += 1
+                raise
+        victim: QueryArrival | None = None
+        if (
+            self.max_backlog is not None
+            and len(self._pending) >= self.max_backlog
+        ):
+            # Shed the least important waiting entry — but only if the
+            # newcomer strictly out-ranks it; ties reject the newcomer
+            # (first-come-first-queued within a class).
+            worst = max(
+                self._pending, key=lambda entry: (entry.priority, entry.seq)
+            )
+            if worst.priority <= arrival.priority:
+                self.shed += 1
+                raise AdmissionRejected(
+                    f"backlog full ({self.max_backlog}); query "
+                    f"seq={arrival.seq} of tenant {arrival.tenant!r} shed"
+                )
+            victim = worst
+            self._pending.remove(worst)
+            self._tags.pop(worst.seq, None)
+            self.shed += 1
+        tag = max(
+            self._virtual.get(arrival.tenant, 0.0), self._global_virtual
+        ) + 1.0 / arrival.weight
+        self._virtual[arrival.tenant] = tag
+        self._tags[arrival.seq] = tag
+        self._pending.append(arrival)
+        self.admitted += 1
+        return victim
+
+    # ------------------------------------------------------------------
+    # Service order
+    # ------------------------------------------------------------------
+    def rank(self, entry: QueryArrival) -> tuple[int, float, int]:
+        """The entry's service rank: (priority class, WFQ tag, seq)."""
+        return (entry.priority, self._tags[entry.seq], entry.seq)
+
+    def ordered(
+        self, entries: "list[QueryArrival] | None" = None
+    ) -> list[QueryArrival]:
+        """*entries* (default: all pending) in service order."""
+        pool = self._pending if entries is None else entries
+        return sorted(pool, key=self.rank)
+
+    def take(self, entry: QueryArrival) -> QueryArrival:
+        """Remove *entry* for dispatch, advancing the virtual clock."""
+        self._pending.remove(entry)
+        tag = self._tags.pop(entry.seq)
+        self._global_virtual = max(self._global_virtual, tag)
+        return entry

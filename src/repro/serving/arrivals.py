@@ -1,0 +1,278 @@
+"""Open-loop arrival processes and the multi-tenant workload generator.
+
+"Millions of users" do not wait for the previous query to finish: an
+**open-loop** workload keeps arriving at its own rate regardless of how
+the server is doing, which is exactly what makes tail latency and
+admission control meaningful (a closed-loop client self-throttles and
+hides overload).  This module puts seeded arrival processes on the
+simulated cycle timeline:
+
+* :class:`PoissonArrivals` — memoryless arrivals at a constant rate,
+  the baseline of every queueing model;
+* :class:`BurstyArrivals` — an on/off modulated Poisson process:
+  geometric-length bursts at a multiplied rate separated by idle gaps,
+  the "flash crowd" shape;
+* :class:`DiurnalArrivals` — a sinusoidally modulated Poisson process
+  (thinning construction), the day/night cycle compressed onto the
+  simulated clock.
+
+A :class:`TenantSpec` binds one arrival process to a fairness weight, a
+priority class, and an :class:`~repro.workload.htap.HTAPMix`-shaped
+query population; :class:`WorkloadGenerator` merges every tenant's
+stream into one time-sorted sequence of :class:`QueryArrival` events.
+Everything is a pure function of the seeds — the verifier's determinism
+gate runs each cell twice and requires identical records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.hardware.event import Cycles
+from repro.model.relation import Relation
+from repro.workload.htap import HTAPMix
+from repro.workload.queries import QuerySpec
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "TenantSpec",
+    "QueryArrival",
+    "WorkloadGenerator",
+]
+
+
+class ArrivalProcess:
+    """Base class: a seeded stream of inter-arrival gaps in cycles.
+
+    Subclasses implement :meth:`gaps`; :meth:`cycles_until` integrates
+    the gaps into absolute arrival instants up to a horizon.  Processes
+    are stateless — all randomness comes from the generator passed in,
+    so one process object can be shared across tenants and runs.
+    """
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        """Yield successive inter-arrival gaps (cycles), forever."""
+        raise NotImplementedError
+
+    def cycles_until(
+        self, rng: np.random.Generator, horizon_cycles: Cycles, limit: int
+    ) -> list[float]:
+        """Absolute arrival cycles in ``(0, horizon]``, capped at *limit*."""
+        if horizon_cycles <= 0:
+            raise WorkloadError(f"horizon must be positive, got {horizon_cycles}")
+        out: list[float] = []
+        now = 0.0
+        for gap in self.gaps(rng):
+            now += gap
+            if now > horizon_cycles or len(out) >= limit:
+                break
+            out.append(now)
+        return out
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps with the given mean."""
+
+    mean_gap_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.mean_gap_cycles <= 0:
+            raise WorkloadError(
+                f"mean_gap_cycles must be positive, got {self.mean_gap_cycles}"
+            )
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        """Exponential inter-arrival gaps at rate ``1/mean_gap_cycles``."""
+        while True:
+            yield float(rng.exponential(self.mean_gap_cycles))
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """On/off arrivals: dense geometric bursts separated by idle gaps.
+
+    During a burst, gaps are exponential with mean
+    ``mean_gap_cycles / burst_factor`` (the flash crowd); the burst
+    length is geometric with mean ``mean_burst_length``; between bursts
+    one exponential idle gap with mean ``idle_gap_cycles`` passes with
+    no arrivals at all.
+    """
+
+    mean_gap_cycles: float
+    burst_factor: float = 8.0
+    mean_burst_length: float = 12.0
+    idle_gap_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_gap_cycles <= 0 or self.burst_factor < 1.0:
+            raise WorkloadError(
+                "bursty arrivals need mean_gap_cycles > 0 and burst_factor >= 1"
+            )
+        if self.mean_burst_length < 1.0:
+            raise WorkloadError("mean_burst_length must be >= 1")
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        """Alternate geometric-length bursts with idle gaps."""
+        idle = self.idle_gap_cycles or self.mean_gap_cycles * self.burst_factor
+        burst_gap = self.mean_gap_cycles / self.burst_factor
+        while True:
+            length = int(rng.geometric(1.0 / self.mean_burst_length))
+            for __ in range(length):
+                yield float(rng.exponential(burst_gap))
+            yield float(rng.exponential(idle))
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally modulated arrivals (the day/night cycle).
+
+    Implemented by thinning: candidates arrive as a Poisson process at
+    the peak rate (``1 / peak_gap_cycles``); a candidate at instant *t*
+    survives with probability
+    ``floor + (1 - floor) * (0.5 + 0.5 * sin(2*pi*t / period))``, so
+    the accepted rate swings between ``floor`` and 1 times the peak
+    over each period.
+    """
+
+    peak_gap_cycles: float
+    period_cycles: float
+    floor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.peak_gap_cycles <= 0 or self.period_cycles <= 0:
+            raise WorkloadError(
+                "diurnal arrivals need positive peak_gap_cycles and period_cycles"
+            )
+        if not 0.0 <= self.floor <= 1.0:
+            raise WorkloadError(f"floor must be in [0, 1], got {self.floor}")
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        """Thinned exponential gaps following the sinusoidal rate."""
+        now = 0.0
+        pending = 0.0
+        while True:
+            candidate = float(rng.exponential(self.peak_gap_cycles))
+            now += candidate
+            pending += candidate
+            phase = 0.5 + 0.5 * math.sin(2.0 * math.pi * now / self.period_cycles)
+            accept = self.floor + (1.0 - self.floor) * phase
+            if rng.uniform() < accept:
+                yield pending
+                pending = 0.0
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the serving tier: identity, rate, mix, and rights.
+
+    Attributes
+    ----------
+    name:
+        Tenant identity (also the fairness-accounting key).
+    arrivals:
+        The tenant's open-loop arrival process.
+    weight:
+        Weighted-fair-queueing share; a weight-2 tenant drains twice as
+        fast as a weight-1 tenant under contention.
+    priority:
+        Priority class, lower is more urgent (0 = interactive).  The
+        admission queue serves classes strictly in order and sheds the
+        lowest class first under overflow pressure.
+    oltp_fraction:
+        The tenant's HTAP mix knob (share of transactional queries).
+    seed_offset:
+        Folded into the generator seed so tenants draw distinct streams.
+    """
+
+    name: str
+    arrivals: ArrivalProcess
+    weight: float = 1.0
+    priority: int = 0
+    oltp_fraction: float = 0.25
+    seed_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"tenant weight must be positive, got {self.weight}")
+        if self.priority < 0:
+            raise WorkloadError(f"priority class must be >= 0, got {self.priority}")
+
+
+@dataclass(frozen=True)
+class QueryArrival:
+    """One query landing on the timeline: who, when, and what.
+
+    ``seq`` is the global arrival order — the serial-equivalence order
+    the batch scheduler's write barriers preserve and the byte-identity
+    oracle replays.
+    """
+
+    seq: int
+    cycle: Cycles
+    tenant: str
+    priority: int
+    weight: float
+    spec: QuerySpec
+
+
+@dataclass(frozen=True)
+class WorkloadGenerator:
+    """Merge every tenant's seeded stream into one arrival sequence.
+
+    Each tenant gets an independent ``np.random.Generator`` seeded from
+    ``(seed, tenant.seed_offset, index)`` and an
+    :class:`~repro.workload.htap.HTAPMix` over *relation* with the
+    tenant's OLTP fraction, so the merged stream is deterministic and
+    tenants never share randomness.  Arrivals are sorted by
+    ``(cycle, tenant name)`` and numbered with the global ``seq``.
+    """
+
+    relation: Relation
+    tenants: tuple[TenantSpec, ...]
+    seed: int = 0
+    #: Safety cap per tenant so a mis-tuned rate cannot hang a run.
+    max_queries_per_tenant: int = 100_000
+    olap_attributes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise WorkloadError("a workload needs at least one tenant")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate tenant names in {names}")
+
+    def arrivals(self, horizon_cycles: Cycles) -> list[QueryArrival]:
+        """Every tenant's arrivals in ``(0, horizon]``, merged and numbered."""
+        merged: list[tuple[float, str, int, float, QuerySpec]] = []
+        for index, tenant in enumerate(self.tenants):
+            rng = np.random.default_rng(
+                (self.seed * 1_000_003 + tenant.seed_offset * 7919 + index) % (2**63)
+            )
+            cycles = tenant.arrivals.cycles_until(
+                rng, horizon_cycles, self.max_queries_per_tenant
+            )
+            mix = HTAPMix(
+                self.relation,
+                oltp_fraction=tenant.oltp_fraction,
+                olap_attributes=self.olap_attributes,
+                seed=(self.seed * 31 + tenant.seed_offset + index) % (2**31),
+            )
+            specs = mix.query_list(len(cycles))
+            for cycle, spec in zip(cycles, specs):
+                merged.append(
+                    (cycle, tenant.name, tenant.priority, tenant.weight, spec)
+                )
+        merged.sort(key=lambda item: (item[0], item[1]))
+        return [
+            QueryArrival(seq, cycle, tenant, priority, weight, spec)
+            for seq, (cycle, tenant, priority, weight, spec) in enumerate(merged)
+        ]

@@ -19,9 +19,10 @@ fails, so CI's bench-smoke job gates on them.
 
 from __future__ import annotations
 
-import argparse
 import json
 from typing import Any, Sequence
+
+from repro.cli import verifier_parser
 
 __all__ = ["main"]
 
@@ -149,19 +150,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Run the staging grid + checks; write the record; 0 iff checks pass."""
     from repro.bench.ablations import SWEEPS, staging_cache_sweep
 
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.staging",
-        description="Benchmark the device staging cache and gate its invariants.",
-    )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="run the reduced CI grid instead of the full one",
-    )
-    parser.add_argument(
-        "--output",
-        default="BENCH_staging.json",
-        help="where to write the JSON record (default: BENCH_staging.json)",
+    parser = verifier_parser(
+        "python -m repro.staging",
+        "Benchmark the device staging cache and gate its invariants.",
+        default_seeds=None,
+        default_output="BENCH_staging.json",
     )
     options = parser.parse_args(argv)
 

@@ -25,16 +25,58 @@ class TestInstruments:
         for value in (1.0, 2.0, 3.0):
             histogram.observe(value)
         summary = histogram.summary()
-        assert summary == {
-            "count": 3,
-            "total": 6.0,
-            "min": 1.0,
-            "max": 3.0,
-            "mean": 2.0,
-        }
+        assert summary["count"] == 3
+        assert summary["total"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+        assert summary["p50"] == 2.0
+        assert summary["p95"] == pytest.approx(2.9)
+        assert summary["p99"] == pytest.approx(2.98)
 
     def test_empty_histogram_summary_is_zeros(self):
-        assert Histogram("h").summary()["count"] == 0
+        summary = Histogram("h").summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 0.0
+
+    def test_percentile_interpolates_between_ranks(self):
+        histogram = Histogram("h")
+        # Unsorted on purpose: percentile must sort internally.
+        for value in (40.0, 10.0, 30.0, 20.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.0) == 10.0
+        assert histogram.percentile(100.0) == 40.0
+        assert histogram.percentile(50.0) == pytest.approx(25.0)
+        # rank = 3 * 0.25 = 0.75 -> between 10 and 20.
+        assert histogram.percentile(25.0) == pytest.approx(17.5)
+
+    def test_percentile_matches_numpy_linear_method(self):
+        import numpy as np
+
+        histogram = Histogram("h")
+        values = [float((value * 37) % 101) for value in range(23)]
+        for value in values:
+            histogram.observe(value)
+        for q in (0.0, 12.5, 50.0, 95.0, 99.0, 100.0):
+            assert histogram.percentile(q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_percentile_of_singleton_is_that_value(self):
+        histogram = Histogram("h")
+        histogram.observe(7.0)
+        assert histogram.percentile(99.0) == 7.0
+
+    def test_percentile_rejects_out_of_range(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.percentile(100.1)
+
+    def test_percentile_of_empty_histogram_is_zero(self):
+        assert Histogram("h").percentile(50.0) == 0.0
 
 
 class TestRegistry:

@@ -1,0 +1,1 @@
+"""Tests for the concurrent multi-tenant serving tier."""

@@ -1,0 +1,113 @@
+"""Admission control: WFQ fairness, priority classes, bounded shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionRejected
+from repro.faults.injector import FaultInjector
+from repro.serving.admission import SITE_QUEUE_OVERFLOW, AdmissionQueue
+from repro.serving.arrivals import QueryArrival
+from repro.workload.queries import QueryShape, QuerySpec
+
+SPEC = QuerySpec(QueryShape.FULL_SUM, "item", ("i_price",))
+
+
+def _arrival(
+    seq: int, tenant: str = "t0", priority: int = 0, weight: float = 1.0
+) -> QueryArrival:
+    return QueryArrival(seq, float(seq), tenant, priority, weight, SPEC)
+
+
+class TestFairness:
+    def test_weighted_tenant_drains_proportionally(self):
+        queue = AdmissionQueue()
+        seq = 0
+        for __ in range(4):
+            queue.admit(_arrival(seq, "heavy", weight=2.0))
+            seq += 1
+            queue.admit(_arrival(seq, "light", weight=1.0))
+            seq += 1
+        first_six = [entry.tenant for entry in queue.ordered()[:6]]
+        # Virtual finish tags grow half as fast for the weight-2 tenant:
+        # it holds 4 of the first 6 service slots.
+        assert first_six.count("heavy") == 4
+        assert first_six.count("light") == 2
+
+    def test_priority_classes_are_strict(self):
+        queue = AdmissionQueue()
+        queue.admit(_arrival(0, "batch", priority=1))
+        queue.admit(_arrival(1, "interactive", priority=0))
+        assert [e.tenant for e in queue.ordered()] == ["interactive", "batch"]
+
+    def test_take_advances_the_virtual_clock(self):
+        queue = AdmissionQueue()
+        for seq in range(3):
+            queue.admit(_arrival(seq, "busy"))
+        for entry in queue.ordered():
+            queue.take(entry)
+        # A tenant arriving after the backlog drained must not get a
+        # stale (smaller) tag and starve the earlier tenant's next query.
+        queue.admit(_arrival(10, "busy"))
+        queue.admit(_arrival(11, "late"))
+        tags = {entry.tenant: queue.rank(entry)[1] for entry in queue.pending}
+        assert tags["late"] >= 3.0
+        assert tags["busy"] >= 3.0
+
+
+class TestBoundedBacklog:
+    def test_overflow_sheds_the_newcomer_on_priority_tie(self):
+        queue = AdmissionQueue(max_backlog=2)
+        queue.admit(_arrival(0))
+        queue.admit(_arrival(1))
+        with pytest.raises(AdmissionRejected):
+            queue.admit(_arrival(2))
+        assert queue.shed == 1
+        assert len(queue) == 2
+
+    def test_urgent_newcomer_displaces_the_worst_waiting_entry(self):
+        queue = AdmissionQueue(max_backlog=2)
+        queue.admit(_arrival(0, priority=0))
+        queue.admit(_arrival(1, "victim", priority=1))
+        victim = queue.admit(_arrival(2, "urgent", priority=0))
+        assert victim is not None and victim.tenant == "victim"
+        assert queue.shed == 1
+        assert {entry.seq for entry in queue.pending} == {0, 2}
+
+    def test_unbounded_queue_never_sheds(self):
+        queue = AdmissionQueue(max_backlog=None)
+        for seq in range(100):
+            assert queue.admit(_arrival(seq)) is None
+        assert queue.shed == 0
+        assert len(queue) == 100
+
+    def test_backlog_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_backlog=0)
+
+
+class TestInjectedOverflow:
+    def test_armed_site_sheds_with_injected_flag(self):
+        injector = FaultInjector(seed=1).arm(
+            SITE_QUEUE_OVERFLOW, 1.0, max_faults=1
+        )
+        queue = AdmissionQueue(max_backlog=None, injector=injector)
+        with pytest.raises(AdmissionRejected) as caught:
+            queue.admit(_arrival(0))
+        assert getattr(caught.value, "injected", False) is True
+        assert queue.shed == 1
+        assert injector.report.injected == 1
+        # The cap is spent: the next admission goes through.
+        assert queue.admit(_arrival(1)) is None
+
+    def test_injected_shed_counts_into_given_counters(self):
+        from repro.hardware.event import PerfCounters
+
+        injector = FaultInjector(seed=1).arm(
+            SITE_QUEUE_OVERFLOW, 1.0, max_faults=1
+        )
+        queue = AdmissionQueue(injector=injector)
+        counters = PerfCounters()
+        with pytest.raises(AdmissionRejected):
+            queue.admit(_arrival(0), counters)
+        assert counters.faults_injected == 1

@@ -1,0 +1,83 @@
+"""The GPU batch path: byte-identical answers, amortized fixed costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution.context import ExecutionContext
+from repro.execution.device import device_sum_column
+from repro.hardware.platform import Platform
+from repro.serving.batch import run_device_batch
+from repro.serving.verifier import build_item_store
+
+ROWS = 10_000
+
+
+@pytest.fixture
+def store(platform):
+    return build_item_store(platform, ROWS)
+
+
+class TestByteIdentity:
+    def test_batched_answers_equal_serial_answers_exactly(self, platform, store):
+        attributes = ["i_price", "i_im_id", "i_price", "i_price", "i_im_id"]
+        batch_ctx = ExecutionContext(platform)
+        batched = run_device_batch(store, attributes, batch_ctx)
+
+        serial_platform = Platform.paper_testbed()
+        serial_store = build_item_store(serial_platform, ROWS)
+        serial_ctx = ExecutionContext(serial_platform)
+        serial = [
+            device_sum_column(serial_store, attribute, serial_ctx)
+            for attribute in attributes
+        ]
+        assert batched == serial  # exact ==, never a tolerance
+
+    def test_empty_batch_is_a_no_op(self, ctx, store):
+        assert run_device_batch(store, [], ctx) == []
+        assert ctx.counters.cycles == 0.0
+
+
+class TestAmortization:
+    def test_one_batch_pays_two_launches_total(self, ctx, store):
+        run_device_batch(store, ["i_price"] * 8, ctx)
+        assert ctx.counters.kernel_launches == 2
+
+    def test_serial_dispatch_pays_per_query_launches(self, platform, store):
+        ctx = ExecutionContext(platform)
+        for __ in range(8):
+            device_sum_column(store, "i_price", ctx)
+        assert ctx.counters.kernel_launches == 16
+
+    def test_duplicates_deduplicate_staging_traffic(self, platform, store):
+        ctx = ExecutionContext(platform)
+        run_device_batch(store, ["i_price"] * 6, ctx)
+        width = store.relation.schema.attribute("i_price").width
+        # One column staged once + the K-scalar result copy: far less
+        # wire traffic than six independent column transfers.
+        assert ctx.counters.pcie_bytes < 2 * ROWS * width
+
+    def test_batch_is_cheaper_than_serial_for_the_same_queries(
+        self, platform, store
+    ):
+        batch_ctx = ExecutionContext(platform)
+        run_device_batch(store, ["i_price"] * 8, batch_ctx)
+
+        serial_platform = Platform.paper_testbed()
+        serial_store = build_item_store(serial_platform, ROWS)
+        serial_ctx = ExecutionContext(serial_platform)
+        for __ in range(8):
+            device_sum_column(serial_store, "i_price", serial_ctx)
+        assert batch_ctx.counters.cycles < serial_ctx.counters.cycles / 2
+
+    def test_warm_batch_hits_the_staging_cache(self, ctx, store):
+        run_device_batch(store, ["i_price", "i_im_id"], ctx)
+        before = ctx.counters.pcie_bytes
+        run_device_batch(store, ["i_price", "i_im_id"], ctx)
+        assert ctx.counters.staging_hits >= 2
+        # Second batch ships only the result copy, not the columns.
+        width_sum = sum(
+            store.relation.schema.attribute(a).width
+            for a in ("i_price", "i_im_id")
+        )
+        assert ctx.counters.pcie_bytes - before == width_sum

@@ -1,0 +1,42 @@
+"""The serving verifier's gates and CLI record."""
+
+from __future__ import annotations
+
+import json
+
+from repro.serving.verifier import (
+    MAX_TAIL_RATIO,
+    MIN_BATCH_SPEEDUP,
+    run_serving_verifier,
+)
+
+
+class TestGates:
+    def test_all_gates_pass_on_the_smoke_cell(self):
+        record = run_serving_verifier([5], smoke=True)
+        assert record["ok"] is True
+        cell = record["seeds"]["5"]
+        assert all(cell["gates"].values()), cell["gates"]
+        assert cell["identity_mismatches"] == 0
+        assert cell["speedup"] >= MIN_BATCH_SPEEDUP
+        assert 0 < cell["bounded"]["tail_ratio"] <= MAX_TAIL_RATIO
+        assert cell["chaos_injected"] > 0
+        assert cell["chaos_unaccounted"] == 0
+
+    def test_record_is_json_serializable_and_self_describing(self):
+        record = run_serving_verifier([5], smoke=True)
+        text = json.dumps(record, sort_keys=True)
+        assert "thresholds" in record and "config" in record
+        assert json.loads(text)["bench"] == "serving"
+
+
+class TestCLI:
+    def test_main_smoke_writes_the_record_and_exits_zero(self, tmp_path, capsys):
+        from repro.serving.__main__ import main
+
+        output = tmp_path / "BENCH_serving.json"
+        code = main(["--smoke", "--seeds", "5", "--output", str(output)])
+        assert code == 0
+        record = json.loads(output.read_text())
+        assert record["ok"] is True
+        assert capsys.readouterr().out.count("serving verifier: OK") == 1

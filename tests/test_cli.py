@@ -62,6 +62,9 @@ class TestHarnessesShareTheVocabulary:
             "repro.recovery.__main__",
             "repro.fusion.__main__",
             "repro.rebalance.__main__",
+            "repro.staging.__main__",
+            "repro.obs.__main__",
+            "repro.serving.__main__",
         ],
     )
     def test_verifier_mains_import_the_shared_parser(self, module_name):
