@@ -84,15 +84,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     speedup = _speedup_record(gate_rows)
     identical = all(point.outcomes["identical"] == 1.0 for point in points)
     ranked = all(point.outcomes["hype_rank_correct"] == 1.0 for point in points)
-    record = {
-        "smoke": options.smoke,
-        "grid": [
+    passed = speedup["passed"] and (identical and speedup["identical"]) and ranked
+    from repro.obs.bench import make_bench_record
+
+    record = make_bench_record(
+        "fusion",
+        ok=passed,
+        metrics={
+            "host_speedup": speedup["host_speedup"],
+            "device_warm_speedup": speedup["device_warm_speedup"],
+        },
+        tolerances={
+            "host_speedup": {"rel": 0.15, "direction": "higher_better"},
+            "device_warm_speedup": {"rel": 0.15, "direction": "higher_better"},
+        },
+        smoke=options.smoke,
+        grid=[
             {"selectivity": point.knob, **point.outcomes} for point in points
         ],
-        "speedup_gate": speedup,
-        "byte_identity": {"passed": identical and speedup["identical"]},
-        "hype_ranking": {"passed": ranked},
-    }
+        speedup_gate=speedup,
+        byte_identity={"passed": identical and speedup["identical"]},
+        hype_ranking={"passed": ranked},
+    )
     with open(options.output, "w", encoding="utf-8") as sink:
         json.dump(record, sink, indent=2, sort_keys=True)
 

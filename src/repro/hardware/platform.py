@@ -73,12 +73,19 @@ class Platform:
         active, else ``None`` (tracing off — every instrumentation hook
         is a no-op, the zero-observer-effect contract).  Assign a
         :class:`~repro.obs.Tracer` directly to trace one platform.
+
+        The windowed metrics registry (``platform.metrics``) follows the
+        identical pattern via :func:`repro.obs.windowed_metrics`: ``None``
+        by default, in which case every time-series emission hook is a
+        no-op.
         """
+        from repro.obs.timeseries import default_metrics
         from repro.obs.tracer import default_tracer
         from repro.staging.manager import StagingManager
 
         self.staging = StagingManager(self)
         self.tracer = default_tracer()
+        self.metrics = default_metrics()
 
     @classmethod
     def paper_testbed(

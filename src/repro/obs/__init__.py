@@ -19,11 +19,25 @@ to its hot paths if it can *see* them.  Three cooperating pieces:
   per-layer attribution (:mod:`repro.obs.profile`), and the library's
   structured logger (:mod:`repro.obs.logging`).
 
+The time-series plane builds on the same contract:
+:class:`~repro.obs.timeseries.WindowedRegistry` adds ring-buffer
+dimensional series sampled on the cycle timeline with tumbling/sliding
+window aggregation and a counter-closure exactness gate;
+:mod:`repro.obs.slo` evaluates declarative :class:`SloSpec` objectives
+with multi-window burn-rate alerting; and :mod:`repro.obs.bench` +
+:mod:`repro.obs.regress` define the unified ``BENCH_*.json`` schema and
+the cross-run regression diff CI runs.
+
 ``python -m repro.obs`` runs a Figure-2 workload traced, emits
 ``trace.json`` + the profile report, and gates the zero-observer and
 trace-schema checks (CI's obs-smoke job).  See docs/OBSERVABILITY.md.
 """
 
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    make_bench_record,
+    validate_bench_record,
+)
 from repro.obs.export import (
     chrome_trace_events,
     validate_chrome_trace,
@@ -32,6 +46,21 @@ from repro.obs.export import (
 from repro.obs.logging import configure_cli_logging, get_logger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import explain, layer_attribution, render_span_tree
+from repro.obs.slo import (
+    Alert,
+    BurnRatePolicy,
+    SloEvaluator,
+    SloSpec,
+    evaluate_slos,
+)
+from repro.obs.timeseries import (
+    TimeSeries,
+    WindowAggregate,
+    WindowedRegistry,
+    default_metrics,
+    set_default_metrics,
+    windowed_metrics,
+)
 from repro.obs.tracer import (
     LAYER_FUSED,
     InstantEvent,
@@ -56,6 +85,20 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "TimeSeries",
+    "WindowAggregate",
+    "WindowedRegistry",
+    "default_metrics",
+    "set_default_metrics",
+    "windowed_metrics",
+    "SloSpec",
+    "BurnRatePolicy",
+    "SloEvaluator",
+    "Alert",
+    "evaluate_slos",
+    "BENCH_SCHEMA",
+    "make_bench_record",
+    "validate_bench_record",
     "chrome_trace_events",
     "write_chrome_trace",
     "validate_chrome_trace",

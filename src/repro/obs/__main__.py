@@ -18,8 +18,26 @@ fault injector that forces exactly one retried PCIe transfer, then:
 * prints the :func:`~repro.obs.profile.explain` report and writes
   ``BENCH_obs.json`` with the per-layer cycle attribution.
 
-The process exits non-zero when any gate fails, so CI's obs-smoke job
-can assert the whole observability contract in one command.
+On top of that, the telemetry-plane gates run a compact serving probe
+per ``--seeds`` seed:
+
+* **window closure** — every counter series' tumbling-window sums equal
+  its running total and the by-metric totals equal the root
+  :class:`~repro.hardware.event.PerfCounters` fields;
+* **windowed zero observer** — the probe with a
+  :class:`~repro.obs.timeseries.WindowedRegistry` active is
+  byte-identical (answers, makespan, counter totals) to the same seed
+  with the plane off;
+* **SLO discrimination + determinism** — the healthy probe produces
+  zero burn-rate alerts, the seeded-overload probe fires, and running
+  the overload probe twice yields identical alert streams;
+* **regression self-check** — :func:`repro.obs.regress.compare_records`
+  flags a synthetic 25% regression and passes identical artifacts.
+
+The process exits non-zero when any gate fails, so CI's obs-smoke and
+obs-regress jobs can assert the whole observability contract in one
+command; ``BENCH_obs.json`` follows the unified
+:mod:`repro.obs.bench` schema.
 """
 
 from __future__ import annotations
@@ -29,7 +47,7 @@ from typing import Any, Sequence
 
 from repro.cli import verifier_parser
 
-__all__ = ["run_figure2_workload", "main"]
+__all__ = ["run_figure2_workload", "run_windowed_probe", "main"]
 
 #: Span layers the probe workload must exercise (instants add
 #: ``staging`` and ``fault`` on top).
@@ -125,8 +143,114 @@ def run_figure2_workload(
         set_default_tracer(previous)
 
 
+#: The SLOs the windowed serving probe evaluates: a latency objective
+#: calibrated so the healthy probe sits comfortably inside it while the
+#: saturated probe blows through, and a served/shed error-ratio
+#: objective only the chaos overflow site violates.
+PROBE_LATENCY_THRESHOLD_CYCLES = 400_000.0
+
+
+def _probe_slos() -> tuple:
+    from repro.obs.slo import SloSpec
+
+    return (
+        SloSpec(
+            name="p99-latency",
+            kind="latency",
+            metric="serving.latency",
+            objective=0.95,
+            threshold=PROBE_LATENCY_THRESHOLD_CYCLES,
+        ),
+        SloSpec(
+            name="shed-rate",
+            kind="event_ratio",
+            metric="serving.served",
+            bad_metric="serving.shed",
+            objective=0.95,
+        ),
+    )
+
+
+def run_windowed_probe(
+    seed: int, overload: bool, windowed: bool = True
+) -> dict[str, Any]:
+    """One compact serving cell with (or without) the time-series plane.
+
+    *overload* switches between a lightly-loaded healthy cell (arrival
+    gaps far wider than the service time, no chaos) and a saturated
+    cell under the ``serving.queue-overflow`` chaos site.  Returns the
+    run's fingerprint (answers, makespan, counter snapshot) plus — when
+    *windowed* — the registry, its closure problems, and the
+    deterministic alert stream.
+    """
+    from repro.obs.slo import evaluate_slos
+    from repro.obs.timeseries import WindowedRegistry
+    from repro.serving.server import BATCH_16
+    from repro.serving.verifier import build_tenants, serve_once
+
+    rows = 6_000
+    horizon = 600_000.0
+    gap = 15_000.0 if overload else 150_000.0
+    tenants = build_tenants(3, gap, "poisson", horizon)
+    registry = WindowedRegistry() if windowed else None
+    outcome = serve_once(
+        seed,
+        rows,
+        tenants,
+        horizon,
+        BATCH_16,
+        max_backlog=16 if overload else None,
+        overflow_rate=0.08 if overload else 0.0,
+        registry=registry,
+    )
+    fingerprint = {
+        "answers": [
+            (seq, repr(answer))
+            for seq, __, answer in outcome.loop.answers_for_replay()
+        ],
+        "makespan": outcome.report.makespan_cycles,
+        "snapshot": outcome.ctx.counters.snapshot(),
+    }
+    result: dict[str, Any] = {"fingerprint": fingerprint, "outcome": outcome}
+    if windowed:
+        horizon_end = max(outcome.report.makespan_cycles, 1.0)
+        result["registry"] = registry
+        result["closure_problems"] = registry.verify_closure(
+            outcome.ctx.counters
+        )
+        result["alerts"] = evaluate_slos(registry, _probe_slos(), horizon_end)
+    return result
+
+
+def _regress_self_check() -> dict[str, bool]:
+    """The regression detector flags 25% drift and passes identity."""
+    from repro.obs.bench import make_bench_record
+    from repro.obs.regress import compare_records
+
+    tolerances = {
+        "latency": {"rel": 0.10, "direction": "lower_better"},
+        "hit_rate": {"rel": 0.10, "direction": "higher_better"},
+    }
+    baseline = make_bench_record(
+        "probe", True, {"latency": 100.0, "hit_rate": 0.8},
+        tolerances=tolerances,
+    )
+    regressed = make_bench_record(
+        "probe", True, {"latency": 125.0, "hit_rate": 0.8},
+        tolerances=tolerances,
+    )
+    return {
+        "flags_synthetic_regression": not compare_records(
+            baseline, regressed
+        ).ok,
+        "passes_identical": compare_records(baseline, baseline).ok,
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the traced + untraced probes; write artifacts; 0 iff gates pass."""
+    from repro.cli import parse_seeds
+    from repro.obs.bench import make_bench_record
     from repro.obs.export import validate_chrome_trace, write_chrome_trace
     from repro.obs.logging import configure_cli_logging, get_logger
     from repro.obs.profile import explain, layer_attribution
@@ -134,9 +258,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     parser = verifier_parser(
         "python -m repro.obs",
-        "Trace a Figure-2 probe workload and gate the "
-        "observability contracts (zero observer effect, trace schema).",
-        default_seeds=None,
+        "Trace a Figure-2 probe workload and gate the observability "
+        "contracts (zero observer effect, trace schema, window "
+        "closure, SLO burn-rate alerting, regression detection).",
         default_output="BENCH_obs.json",
     )
     parser.add_argument(
@@ -183,22 +307,93 @@ def main(argv: Sequence[str] | None = None) -> int:
         set(REQUIRED_SPAN_LAYERS) - span_layers
     ) + sorted({"staging", "fault"} - instant_layers)
 
+    # Gates 5-8, per seed: the telemetry-plane contracts on a compact
+    # serving probe (window closure, windowed zero observer, SLO
+    # discrimination, SLO determinism).
+    seeds = parse_seeds(options.seeds)
+    if options.smoke:
+        seeds = seeds[:1]
+    per_seed: dict[str, Any] = {}
+    windows_ok = True
+    metrics: dict[str, float] = {}
+    for seed in seeds:
+        healthy = run_windowed_probe(seed, overload=False)
+        healthy_plain = run_windowed_probe(seed, overload=False, windowed=False)
+        overload = run_windowed_probe(seed, overload=True)
+        overload_again = run_windowed_probe(seed, overload=True)
+        gates = {
+            "window_closure": not healthy["closure_problems"]
+            and not overload["closure_problems"],
+            "windowed_zero_observer": healthy["fingerprint"]
+            == healthy_plain["fingerprint"],
+            "healthy_silent": len(healthy["alerts"]) == 0,
+            "overload_fires": len(overload["alerts"]) > 0,
+            "alerts_deterministic": [a.key() for a in overload["alerts"]]
+            == [a.key() for a in overload_again["alerts"]],
+        }
+        windows_ok = windows_ok and all(gates.values())
+        per_seed[str(seed)] = {
+            "gates": gates,
+            "closure_problems": healthy["closure_problems"]
+            + overload["closure_problems"],
+            "healthy_alerts": len(healthy["alerts"]),
+            "overload_alerts": [
+                {
+                    "slo": alert.slo,
+                    "severity": alert.severity,
+                    "cycle": alert.cycle,
+                    "burn_fast": alert.burn_fast,
+                    "burn_slow": alert.burn_slow,
+                }
+                for alert in overload["alerts"]
+            ],
+        }
+        metrics[f"overload_alerts.s{seed}"] = float(len(overload["alerts"]))
+        metrics[f"probe_makespan.s{seed}"] = overload["fingerprint"][
+            "makespan"
+        ]
+
+    # Gate 9: the regression detector discriminates.
+    regress_gates = _regress_self_check()
+
     attribution = layer_attribution(tracer)
-    record = {
-        "smoke": options.smoke,
-        "rows": rows,
-        "zero_observer_identical": identical,
-        "trace_file": options.trace,
-        "trace_events": len(events),
-        "trace_problems": trace_problems,
-        "nesting_violations": nesting,
-        "span_layers": sorted(span_layers),
-        "instant_layers": sorted(instant_layers),
-        "missing_layers": missing_layers,
-        "layer_attribution_cycles": attribution,
-        "rates": traced["rates"],
-        "metrics": traced["metrics"],
-    }
+    passed = (
+        identical
+        and not trace_problems
+        and not nesting
+        and not missing_layers
+        and windows_ok
+        and all(regress_gates.values())
+    )
+    metrics["figure2_cycles"] = traced["snapshot"]["cycles"]
+    record = make_bench_record(
+        "obs",
+        ok=passed,
+        metrics=metrics,
+        tolerances={
+            "figure2_cycles": {"rel": 0.05, "direction": "lower_better"},
+            **{
+                name: {"rel": 0.10, "direction": "two_sided"}
+                for name in metrics
+                if name.startswith("probe_makespan.")
+            },
+        },
+        smoke=options.smoke,
+        rows=rows,
+        zero_observer_identical=identical,
+        trace_file=options.trace,
+        trace_events=len(events),
+        trace_problems=trace_problems,
+        nesting_violations=nesting,
+        span_layers=sorted(span_layers),
+        instant_layers=sorted(instant_layers),
+        missing_layers=missing_layers,
+        layer_attribution_cycles=attribution,
+        rates=traced["rates"],
+        registry_dump=traced["metrics"],
+        seeds=per_seed,
+        regress_gates=regress_gates,
+    )
     with open(options.output, "w", encoding="utf-8") as sink:
         json.dump(record, sink, indent=2, sort_keys=True)
 
@@ -217,8 +412,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "layers: %s",
         "ok" if not missing_layers else f"FAILED, missing {missing_layers}",
     )
-    passed = (
-        identical and not trace_problems and not nesting and not missing_layers
+    for seed_key, cell in per_seed.items():
+        logger.info(
+            "windowed gates (seed %s): %s",
+            seed_key,
+            "ok"
+            if all(cell["gates"].values())
+            else f"FAILED {cell['gates']}",
+        )
+    logger.info(
+        "regression self-check: %s",
+        "ok" if all(regress_gates.values()) else f"FAILED {regress_gates}",
     )
     return 0 if passed else 1
 

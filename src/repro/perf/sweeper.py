@@ -237,12 +237,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     started = time.perf_counter()
     results = run_sweeps(names, workers=options.workers, smoke=options.smoke)
     total_wall = time.perf_counter() - started
-    record = {
-        "smoke": options.smoke,
-        "workers": options.workers or (os.cpu_count() or 1),
-        "total_wall_seconds": total_wall,
-        "sweeps": {name: result.as_record() for name, result in results.items()},
-    }
+    from repro.obs.bench import make_bench_record
+
+    record = make_bench_record(
+        "sweeps",
+        ok=True,
+        # Only deterministic figures are regression-comparable; the
+        # wall-clock and rows/s numbers stay in the payload.
+        metrics={
+            f"points.{name}": float(len(result.points))
+            for name, result in results.items()
+        },
+        smoke=options.smoke,
+        workers=options.workers or (os.cpu_count() or 1),
+        total_wall_seconds=total_wall,
+        sweeps={name: result.as_record() for name, result in results.items()},
+    )
     if options.output:
         with open(options.output, "w", encoding="utf-8") as sink:
             json.dump(record, sink, indent=2, sort_keys=True)

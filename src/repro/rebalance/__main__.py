@@ -167,16 +167,38 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{'ok' if ok else 'FAIL'}"
         )
 
-    record = {
-        "seeds": seeds,
-        "sites": sites,
-        "fault_rates": list(rates),
-        "op_mixes": mixes,
-        "wall_seconds": time.perf_counter() - started,
-        "failures": failures,
-        "matrix": cells,
-        "bench": bench,
+    from repro.obs.bench import make_bench_record
+
+    metrics = {"failures": float(failures)}
+    tolerances: dict[str, dict[str, object]] = {
+        "failures": {"rel": 0.0, "direction": "lower_better"},
     }
+    for entry in bench:
+        seed = entry["seed"]
+        metrics[f"ratio_after.s{seed}"] = float(entry["ratio_after"])
+        tolerances[f"ratio_after.s{seed}"] = {
+            "rel": 0.10,
+            "direction": "lower_better",
+        }
+    record = make_bench_record(
+        "rebalance",
+        ok=failures == 0,
+        # Wall-clock stays in the payload; only deterministic simulated
+        # figures are regression-comparable across runs.
+        metrics=metrics,
+        tolerances=tolerances,
+        smoke=options.smoke,
+        seeds=seeds,
+        sites=sites,
+        fault_rates=list(rates),
+        op_mixes=mixes,
+        wall_seconds=time.perf_counter() - started,
+        failures=failures,
+        matrix=cells,
+        # "bench" is the envelope's harness-name key, so the balance
+        # bench cells land under "balance_bench".
+        balance_bench=bench,
+    )
     if options.output:
         with open(options.output, "w", encoding="utf-8") as sink:
             json.dump(record, sink, indent=2, sort_keys=True)

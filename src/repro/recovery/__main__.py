@@ -56,13 +56,32 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"recovery_cycles={result.recovery_cycles:,.0f} "
                 f"{'ok' if ok else 'FAIL'}"
             )
-    record = {
-        "seeds": seeds,
-        "sites": sites,
-        "wall_seconds": time.perf_counter() - started,
-        "failures": failures,
-        "runs": cells,
-    }
+    from repro.obs.bench import make_bench_record
+
+    record = make_bench_record(
+        "recovery",
+        ok=failures == 0,
+        # The wall-clock stays in the payload: only the deterministic
+        # simulated figures are regression-comparable across runs.
+        metrics={
+            "failures": float(failures),
+            "replayed_txns": float(sum(cell["replayed_txns"] for cell in cells)),
+            "recovery_cycles": float(
+                sum(cell["recovery_cycles"] for cell in cells)
+            ),
+        },
+        tolerances={
+            "failures": {"rel": 0.0, "direction": "lower_better"},
+            "replayed_txns": {"rel": 0.10, "direction": "two_sided"},
+            "recovery_cycles": {"rel": 0.10, "direction": "lower_better"},
+        },
+        smoke=options.smoke,
+        seeds=seeds,
+        sites=sites,
+        wall_seconds=time.perf_counter() - started,
+        failures=failures,
+        runs=cells,
+    )
     if options.output:
         with open(options.output, "w", encoding="utf-8") as sink:
             json.dump(record, sink, indent=2, sort_keys=True)

@@ -47,6 +47,7 @@ from repro.execution.operators import (
 )
 from repro.hardware.event import Cycles
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import WindowedRegistry
 from repro.serving.admission import AdmissionQueue
 from repro.serving.arrivals import QueryArrival
 from repro.serving.batch import run_device_batch
@@ -306,6 +307,12 @@ class ServingLoop:
         self.queue = queue
         self.policy = policy
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: The windowed view of the registry, or ``None`` — every
+        #: time-series emission below is a no-op on a plain registry,
+        #: which is the zero-observer-effect contract in loop form.
+        self._windowed: WindowedRegistry | None = (
+            self.registry if isinstance(self.registry, WindowedRegistry) else None
+        )
         self.rebalancer = rebalancer
         self.rebalance_interval_cycles = rebalance_interval_cycles
         self.rebalance_interleave = rebalance_interleave
@@ -338,15 +345,29 @@ class ServingLoop:
                     if injected and injector is not None:
                         injector.report.record_recovered()
                         self.ctx.counters.fault_recoveries += 1
+                        injector.sample_outcome(
+                            "serving.queue-overflow",
+                            "recovered",
+                            self.ctx.counters,
+                        )
                     self._report.shed.append(
                         ShedQuery(arrival.seq, arrival.tenant, self.now, injected)
                     )
+                    self._sample_shed(arrival.tenant)
                     continue
             if victim is not None:
                 self._report.shed.append(
                     ShedQuery(victim.seq, victim.tenant, self.now, False)
                 )
+                self._sample_shed(victim.tenant)
         return cursor
+
+    def _sample_shed(self, tenant: str) -> None:
+        """Emit one per-tenant shed sample (no-op on a plain registry)."""
+        if self._windowed is not None:
+            self._windowed.record(
+                "serving.shed", 1.0, cycle=self.now, tenant=tenant
+            )
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -429,6 +450,24 @@ class ServingLoop:
             self.registry.histogram(
                 f"serving.latency_cycles.p{entry.priority}"
             ).observe(latency)
+            self.registry.histogram(
+                f"serving.latency_cycles.tenant.{entry.tenant}"
+            ).observe(latency)
+            if self._windowed is not None:
+                # Per-tenant end-to-end latency and admission wait on
+                # the cycle timeline, plus a served-event counter (the
+                # good half of the shed/served error-ratio SLOs).
+                self._windowed.record(
+                    "serving.latency", latency, cycle=finish,
+                    kind="gauge", tenant=entry.tenant,
+                )
+                self._windowed.record(
+                    "serving.admission_wait", start - entry.cycle,
+                    cycle=start, kind="gauge", tenant=entry.tenant,
+                )
+                self._windowed.record(
+                    "serving.served", 1.0, cycle=finish, tenant=entry.tenant
+                )
             self._answers[entry.seq] = (entry.spec, answer)
             self._report.executed.append(
                 ExecutedQuery(
@@ -445,6 +484,8 @@ class ServingLoop:
                 )
             )
         self.now = finish
+        if self._windowed is not None:
+            self._windowed.advance_clock(self.now)
         self._report.units += 1
         if batched:
             self._report.batches += 1
@@ -479,6 +520,8 @@ class ServingLoop:
         delta = self.ctx.settle(scope)
         self.registry.observe_query(scope.name, delta)
         self.now += delta.cycles
+        if self._windowed is not None:
+            self._windowed.advance_clock(self.now)
         self._last_rebalance = self.now
         self._report.rebalances.append(
             RebalanceTick(
@@ -509,6 +552,8 @@ class ServingLoop:
                     break
                 # Idle: jump the clock to the next arrival.
                 self.now = max(self.now, arrivals[cursor].cycle)
+                if self._windowed is not None:
+                    self._windowed.advance_clock(self.now)
                 continue
             self._dispatch_unit()
             self._maybe_rebalance()

@@ -37,6 +37,7 @@ from repro.faults.policy import RetryPolicy
 from repro.hardware.platform import Platform
 from repro.layout.fragment import Fragment, Region
 from repro.layout.layout import Layout
+from repro.obs.bench import make_bench_record
 from repro.obs.metrics import MetricsRegistry
 from repro.serving.admission import SITE_QUEUE_OVERFLOW, AdmissionQueue
 from repro.serving.arrivals import (
@@ -174,9 +175,19 @@ def serve_once(
     policy: BatchPolicy,
     max_backlog: int | None,
     overflow_rate: float = 0.0,
+    registry: MetricsRegistry | None = None,
 ) -> ServingOutcome:
-    """Run one serving cell end to end on a fresh platform."""
+    """Run one serving cell end to end on a fresh platform.
+
+    Pass a :class:`~repro.obs.timeseries.WindowedRegistry` as
+    *registry* to run the identical cell with the time-series plane
+    active (the zero-observer-effect gate runs the cell both ways);
+    when given, it is also attached as ``platform.metrics`` so the
+    staging/PCIe/fault emission hooks feed the same registry.
+    """
     platform = Platform.paper_testbed()
+    if registry is not None:
+        platform.metrics = registry
     injector: FaultInjector | None = None
     if overflow_rate > 0.0:
         injector = FaultInjector(seed=seed).arm(SITE_QUEUE_OVERFLOW, overflow_rate)
@@ -190,7 +201,7 @@ def serve_once(
         platform,
         retry=RetryPolicy(report=injector.report if injector else None),
     )
-    registry = MetricsRegistry()
+    registry = registry if registry is not None else MetricsRegistry()
     loop = ServingLoop(
         backend=LayoutBackend(platform, store),
         ctx=ctx,
@@ -241,6 +252,20 @@ def _latency_stats(outcome: ServingOutcome) -> dict[str, float]:
         "p50_cycles": p50,
         "p99_cycles": p99,
         "tail_ratio": (p99 / p50) if p50 > 0 else 0.0,
+    }
+
+
+def _tenant_latency_summaries(outcome: ServingOutcome) -> dict[str, dict[str, float]]:
+    """Per-tenant p50/p95/p99 from the tenant latency histograms."""
+    prefix = "serving.latency_cycles.tenant."
+    return {
+        name[len(prefix):]: {
+            key: histogram.summary()[key]
+            for key in ("count", "p50", "p95", "p99")
+        }
+        for name, histogram in outcome.registry.histograms_with_prefix(
+            "serving.latency_cycles.tenant"
+        ).items()
     }
 
 
@@ -372,6 +397,7 @@ def run_serving_verifier(
             "batched_units": batched.report.units,
             "batches": batched.report.batches,
             "bounded": bounded_stats,
+            "tenant_latency": _tenant_latency_summaries(bounded),
             "unbounded": unbounded_stats,
             "unbounded_2x_horizon": long_stats,
             "shed_bounded": len(bounded.report.shed),
@@ -379,9 +405,28 @@ def run_serving_verifier(
             "chaos_injected": report.injected,
             "chaos_unaccounted": report.unaccounted,
         }
-    return {
-        "bench": "serving",
-        "config": {
+    metrics: dict[str, float] = {}
+    tolerances: dict[str, dict[str, Any]] = {}
+    for seed_key, cell in per_seed.items():
+        metrics[f"speedup.s{seed_key}"] = cell["speedup"]
+        tolerances[f"speedup.s{seed_key}"] = {
+            "rel": 0.20, "direction": "higher_better",
+        }
+        metrics[f"tail_ratio.s{seed_key}"] = cell["bounded"]["tail_ratio"]
+        tolerances[f"tail_ratio.s{seed_key}"] = {
+            "rel": 0.50, "direction": "lower_better",
+        }
+        metrics[f"served.s{seed_key}"] = cell["bounded"]["served"]
+        tolerances[f"served.s{seed_key}"] = {
+            "rel": 0.10, "direction": "two_sided",
+        }
+    return make_bench_record(
+        "serving",
+        ok=all_ok,
+        metrics=metrics,
+        tolerances=tolerances,
+        smoke=smoke,
+        config={
             "row_count": row_count,
             "tenants": tenant_count,
             "horizon_cycles": horizon,
@@ -389,11 +434,10 @@ def run_serving_verifier(
             "max_batch": BATCH_16.max_batch,
             "smoke": smoke,
         },
-        "thresholds": {
+        thresholds={
             "min_batch_speedup": MIN_BATCH_SPEEDUP,
             "max_tail_ratio": MAX_TAIL_RATIO,
             "min_unbounded_growth": MIN_UNBOUNDED_GROWTH,
         },
-        "seeds": per_seed,
-        "ok": all_ok,
-    }
+        seeds=per_seed,
+    )

@@ -122,14 +122,33 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"{'ok' if ok else 'FAIL'}"
             )
 
-    record = {
-        "seeds": seeds,
-        "sites": sites,
-        "wall_seconds": time.perf_counter() - started,
-        "failures": failures,
-        "matrix": cells,
-        "sweep": sweep,
-    }
+    from repro.obs.bench import make_bench_record
+
+    record = make_bench_record(
+        "distributed",
+        ok=failures == 0,
+        # Wall-clock stays in the payload; only deterministic simulated
+        # figures are regression-comparable across runs.
+        metrics={
+            "failures": float(failures),
+            "matrix_cycles": float(sum(cell["cycles"] for cell in cells)),
+            "injected": float(
+                sum(cell["resilience"].get("injected", 0) for cell in cells)
+            ),
+        },
+        tolerances={
+            "failures": {"rel": 0.0, "direction": "lower_better"},
+            "matrix_cycles": {"rel": 0.10, "direction": "lower_better"},
+            "injected": {"rel": 0.10, "direction": "two_sided"},
+        },
+        smoke=options.smoke,
+        seeds=seeds,
+        sites=sites,
+        wall_seconds=time.perf_counter() - started,
+        failures=failures,
+        matrix=cells,
+        sweep=sweep,
+    )
     if options.output:
         with open(options.output, "w", encoding="utf-8") as sink:
             json.dump(record, sink, indent=2, sort_keys=True)

@@ -60,6 +60,7 @@ from repro.faults.injector import FaultInjector, register_fault_site
 from repro.faults.policy import RetryPolicy
 from repro.hardware.event import Cycles
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import WindowedRegistry
 from repro.recovery.replicated import ReplicatedLog
 from repro.recovery.wal import WriteAheadLog
 from repro.sharding.detector import FailureDetector
@@ -73,6 +74,7 @@ __all__ = [
     "SITE_NET_DROP_RESPONSE",
     "SITE_NET_SLOW_LINK",
     "SHARD_LOAD_METRIC",
+    "SHARD_LATENCY_METRIC",
     "ShardedResult",
     "ExecutorStats",
     "ShardedExecutor",
@@ -82,6 +84,12 @@ __all__ = [
 #: optional metrics registry (``{prefix}.{shard_id}``, in rows served).
 #: The rebalance skew detector reads these to find hot shards.
 SHARD_LOAD_METRIC = "shard-load"
+
+#: Prefix of the per-shard sub-query latency histograms
+#: (``{prefix}.{shard_id}``, in cycles charged by the sub-query
+#: including failover/rebuild/response costs).  Merged into the
+#: cluster-level view via :meth:`~repro.obs.metrics.Histogram.merge`.
+SHARD_LATENCY_METRIC = "shard-latency"
 
 #: A worker dies while serving a shard sub-query; the failover state
 #: machine re-runs the sub-query on a surviving DFS replica.
@@ -279,13 +287,27 @@ class ShardedExecutor:
             "scatter-gather", "sharding", shape=query.shape.value, fanout=plan.fanout
         ):
             for task in plan.tasks:
+                before = ctx.counters.cycles
                 partial, node_name = self._run_shard(task, query, ctx)
                 served_by[task.shard.shard_id] = node_name
                 partials.append(partial)
                 if self.metrics is not None:
+                    shard_id = task.shard.shard_id
                     self.metrics.counter(
-                        f"{SHARD_LOAD_METRIC}.{task.shard.shard_id}"
+                        f"{SHARD_LOAD_METRIC}.{shard_id}"
                     ).inc(task.row_count)
+                    self.metrics.histogram(
+                        f"{SHARD_LATENCY_METRIC}.{shard_id}"
+                    ).observe(ctx.counters.cycles - before)
+                    if isinstance(self.metrics, WindowedRegistry):
+                        # The per-shard load window the skew detector's
+                        # windowed constructor consumes.
+                        self.metrics.record(
+                            "shard.load",
+                            float(task.row_count),
+                            cycle=ctx.counters.cycles,
+                            shard=str(shard_id),
+                        )
             value = self._merge(query, plan, partials, ctx)
         return ShardedResult(
             query=query, value=value, served_by=served_by, fanout=plan.fanout

@@ -173,15 +173,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     trajectory = _trajectory_record(
         grid_kwargs.get("row_count", 200_000), trajectory_queries
     )
-    record = {
-        "smoke": options.smoke,
-        "grid": [
+    from repro.obs.bench import make_bench_record
+
+    passed = warm_cold["passed"] and identity["passed"]
+    record = make_bench_record(
+        "staging",
+        ok=passed,
+        metrics={
+            "warm_cold_speedup": warm_cold["speedup"],
+            "cold_cycles": warm_cold["cold_cycles"],
+            "final_hit_rate": trajectory["queries"][-1]["cumulative_hit_rate"],
+        },
+        tolerances={
+            "warm_cold_speedup": {"rel": 0.15, "direction": "higher_better"},
+            "cold_cycles": {"rel": 0.05, "direction": "lower_better"},
+            "final_hit_rate": {"rel": 0.10, "direction": "higher_better"},
+        },
+        smoke=options.smoke,
+        grid=[
             {"capacity_fraction": point.knob, **point.outcomes} for point in points
         ],
-        "trajectory": trajectory,
-        "warm_vs_cold": warm_cold,
-        "cold_byte_identity": identity,
-    }
+        trajectory=trajectory,
+        warm_vs_cold=warm_cold,
+        cold_byte_identity=identity,
+    )
     with open(options.output, "w", encoding="utf-8") as sink:
         json.dump(record, sink, indent=2, sort_keys=True)
 
@@ -200,7 +215,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"trajectory: {len(trajectory['queries'])} queries, final hit rate "
         f"{final['cumulative_hit_rate']:.2f}"
     )
-    return 0 if warm_cold["passed"] and identity["passed"] else 1
+    return 0 if passed else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised by CI bench-smoke

@@ -119,6 +119,7 @@ class StagingManager:
         entry = self.cache.lookup(fragment, attribute)
         if counters is not None:
             tracer = getattr(self.platform, "tracer", None)
+            metrics = getattr(self.platform, "metrics", None)
             if entry is None:
                 counters.staging_misses += 1
                 if tracer is not None:
@@ -128,6 +129,11 @@ class StagingManager:
                         counters,
                         column=f"{fragment.label}.{attribute}",
                     )
+                if metrics is not None:
+                    metrics.record(
+                        "staging.misses", 1.0, cycle=counters.cycles,
+                        layer="staging",
+                    )
             else:
                 counters.staging_hits += 1
                 if tracer is not None:
@@ -136,6 +142,11 @@ class StagingManager:
                         "staging",
                         counters,
                         column=f"{fragment.label}.{attribute}",
+                    )
+                if metrics is not None:
+                    metrics.record(
+                        "staging.hits", 1.0, cycle=counters.cycles,
+                        layer="staging",
                     )
         return entry
 
@@ -215,6 +226,9 @@ class StagingManager:
                 self.cache.evict_lru()
                 self._trace_eviction(ctx.counters, reason="device-oom")
                 injector.report.record_recovered()
+                injector.sample_outcome(
+                    SITE_DEVICE_ALLOC, "recovered", ctx.counters
+                )
                 ctx.counters.fault_recoveries += 1
 
         if not self._make_room(total, device, ctx.counters):

@@ -132,6 +132,19 @@ class TransferScheduler:
             counters.bytes_transferred += total
             counters.pcie_bytes += total
             counters.transfers += 1
+            metrics = getattr(self._platform, "metrics", None)
+            if metrics is not None:
+                # PCIe-utilization series, stamped after the burst
+                # survived so the window sums close against the
+                # ``pcie_bytes`` / ``transfers`` tallies exactly.
+                metrics.record(
+                    "pcie.bytes", float(total), cycle=counters.cycles,
+                    layer="pcie",
+                )
+                metrics.record(
+                    "pcie.transfers", 1.0, cycle=counters.cycles,
+                    layer="pcie",
+                )
         return cost
 
     # ------------------------------------------------------------------

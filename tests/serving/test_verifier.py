@@ -29,6 +29,18 @@ class TestGates:
         assert "thresholds" in record and "config" in record
         assert json.loads(text)["bench"] == "serving"
 
+    def test_per_tenant_latency_percentiles_in_the_record(self):
+        from repro.obs.bench import validate_bench_record
+
+        record = run_serving_verifier([5], smoke=True)
+        assert validate_bench_record(record) == []
+        summaries = record["seeds"]["5"]["tenant_latency"]
+        assert summaries  # at least one tenant served
+        for tenant, stats in summaries.items():
+            assert tenant.startswith("t")
+            assert stats["count"] > 0
+            assert 0 < stats["p50"] <= stats["p95"] <= stats["p99"]
+
 
 class TestCLI:
     def test_main_smoke_writes_the_record_and_exits_zero(self, tmp_path, capsys):

@@ -95,6 +95,33 @@ class TestCosts:
             assert executor.shard_map.shards[shard_id].primary == node
         assert executor.stats.failovers == 0
 
+    def test_per_shard_metrics_and_cluster_latency(self, harness, platform):
+        from repro.obs.timeseries import WindowedRegistry
+        from repro.sharding.executor import (
+            SHARD_LATENCY_METRIC,
+            SHARD_LOAD_METRIC,
+        )
+
+        registry = WindowedRegistry()
+        executor = harness(seed=3, metrics=registry)
+        ctx = ExecutionContext(platform)
+        executor.run(QuerySpec(QueryShape.FULL_SUM, "orders", ("v",)), ctx)
+        shard_count = executor.shard_map.shard_count
+        # Legacy per-shard counters and latency histograms, one each.
+        loads = [
+            registry.counter(f"{SHARD_LOAD_METRIC}.{sid}").value
+            for sid in range(shard_count)
+        ]
+        assert sum(loads) == 128.0
+        latencies = registry.histograms_with_prefix(SHARD_LATENCY_METRIC)
+        assert len(latencies) == shard_count
+        cluster = registry.merged_histogram(SHARD_LATENCY_METRIC, "cluster")
+        assert len(cluster.values) == shard_count
+        assert cluster.summary()["total"] > 0
+        # The dimensional series carries the same per-shard loads.
+        for sid in range(shard_count):
+            assert registry.total("shard.load", shard=str(sid)) == loads[sid]
+
     def test_fault_free_runs_are_cycle_deterministic(self, harness, platform):
         query = QuerySpec(QueryShape.FULL_SUM, "orders", ("v",))
         totals = []
